@@ -1,0 +1,47 @@
+# SPAMeR reproduction — build / test / reproduce targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench repro figures trace sweep latency area ablate tune clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark pass: every table/figure as a testing.B target.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation artifact to stdout.
+repro: figures trace sweep latency area
+
+figures:
+	$(GO) run ./cmd/spamer-bench
+
+trace:
+	$(GO) run ./cmd/spamer-trace
+
+sweep:
+	$(GO) run ./cmd/spamer-sweep
+
+latency:
+	$(GO) run ./cmd/spamer-latency
+
+area:
+	$(GO) run ./cmd/spamer-area
+
+ablate:
+	$(GO) run ./cmd/spamer-ablate
+
+tune:
+	$(GO) run ./cmd/spamer-tune
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,222 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each benchmark
+// executes the corresponding experiment end-to-end and reports derived
+// metrics alongside the usual ns/op:
+//
+//	BenchmarkTable1Config       — Table 1 rows
+//	BenchmarkTable2Workloads    — Table 2 rows (builds every topology)
+//	BenchmarkFigure1Latency     — Lc/Lv/Ls latency comparison
+//	BenchmarkFigure7Trace       — §4.2 transaction tracing
+//	BenchmarkFigure8Speedup     — speedups + geomeans
+//	BenchmarkFigure9Breakdown   — consumer-line empty/non-empty cycles
+//	BenchmarkFigure10Failure    — push failure rates
+//	BenchmarkFigure10Bus        — bus utilization
+//	BenchmarkFigure11Sensitivity— tuned-parameter sweep (FIR panel)
+//	BenchmarkInlineOpt          — §4.3 inlining study
+//	BenchmarkArea               — §4.5 area/power estimation
+//	BenchmarkWorkload/<name>/<alg> — one run per matrix cell
+package spamer_test
+
+import (
+	"testing"
+
+	"spamer"
+	"spamer/internal/energy"
+	"spamer/internal/experiments"
+	"spamer/internal/tuner"
+	"spamer/internal/workloads"
+)
+
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1Rows(); len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2Rows()
+		if len(rows) != 9 { // header + 8 benchmarks
+			b.Fatalf("rows = %d", len(rows))
+		}
+		// Building every topology exercises the Table 2 queue shapes.
+		for _, w := range workloads.All() {
+			sys := spamer.NewSystem(spamer.Config{})
+			w.Build(sys, 1)
+			sys.Kernel().Drain()
+		}
+	}
+}
+
+func BenchmarkFigure1Latency(b *testing.B) {
+	var r = experiments.Figure1()
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure1()
+	}
+	b.ReportMetric(r.Lc, "Lc-cycles")
+	b.ReportMetric(r.Lv, "Lv-cycles")
+	b.ReportMetric(r.Ls, "Ls-cycles")
+}
+
+func BenchmarkFigure7Trace(b *testing.B) {
+	var hindered, saving float64
+	for i := 0; i < b.N; i++ {
+		_, sum, _ := experiments.Figure7(spamer.AlgBaseline)
+		hindered = float64(sum.Hindered)
+		saving = float64(sum.TotalSavingTk)
+	}
+	b.ReportMetric(hindered, "hindered-txs")
+	b.ReportMetric(saving, "saving-cycles")
+}
+
+func BenchmarkFigure8Speedup(b *testing.B) {
+	var m *experiments.Matrix
+	for i := 0; i < b.N; i++ {
+		m = experiments.RunMatrix(1)
+	}
+	b.ReportMetric(m.Geomean(spamer.AlgZeroDelay), "geomean-0delay")
+	b.ReportMetric(m.Geomean(spamer.AlgAdaptive), "geomean-adapt")
+	b.ReportMetric(m.Geomean(spamer.AlgTuned), "geomean-tuned")
+}
+
+func BenchmarkFigure9Breakdown(b *testing.B) {
+	var empty float64
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(1)
+		cells := experiments.Figure9(m)
+		empty = cells["FIR"][spamer.AlgBaseline].EmptyM
+	}
+	b.ReportMetric(empty, "FIR-VL-emptyMcycles")
+}
+
+func BenchmarkFigure10Failure(b *testing.B) {
+	var zd float64
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(1)
+		cells := experiments.Figure10(m)
+		zd = cells["incast"][spamer.AlgZeroDelay].FailureRate
+	}
+	b.ReportMetric(zd*100, "incast-0delay-fail%")
+}
+
+func BenchmarkFigure10Bus(b *testing.B) {
+	var util float64
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(1)
+		cells := experiments.Figure10(m)
+		util = cells["pipeline"][spamer.AlgAdaptive].BusUtilization
+	}
+	b.ReportMetric(util*100, "pipeline-adapt-bus%")
+}
+
+func BenchmarkFigure11Sensitivity(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure11("FIR", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = points[1].DelayNorm // SPAMeR(0delay)
+	}
+	b.ReportMetric(best, "FIR-0delay-delaynorm")
+}
+
+func BenchmarkInlineOpt(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.InlineStudy(1)
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.Speedup
+		}
+		mean = sum / float64(len(rows))
+	}
+	b.ReportMetric(mean, "mean-inline-speedup")
+}
+
+func BenchmarkArea(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		a := energy.Area(0)
+		p := energy.Power(5.03)
+		share = a.SRDShareOfSoC
+		if !p.WithinPaper {
+			b.Fatal("power bound violated")
+		}
+	}
+	b.ReportMetric(share*100, "SRD-SoC-area%")
+}
+
+// BenchmarkAblationPredictors compares every implemented delay
+// algorithm (paper trio + history/perceptron/profiled/dyntuned).
+func BenchmarkAblationPredictors(b *testing.B) {
+	var firBest float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.PredictorStudy(1)
+		for _, r := range rows {
+			if r.Benchmark == "FIR" {
+				firBest = r.Speedups["0delay"]
+			}
+		}
+	}
+	b.ReportMetric(firBest, "FIR-0delay-speedup")
+}
+
+// BenchmarkAblationTopology runs the hop-latency and channel sweeps the
+// paper defers.
+func BenchmarkAblationTopology(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.HopLatencySweep("FIR", []uint64{6, 12, 24, 48}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = 0
+		for _, p := range pts {
+			if p.Speedup > peak {
+				peak = p.Speedup
+			}
+		}
+		if _, err := experiments.BusChannelsSweep("halo", []int{1, 2, 4, 8}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(peak, "FIR-peak-speedup")
+}
+
+// BenchmarkTunerSearch runs the future-work per-benchmark parameter
+// search on firewall.
+func BenchmarkTunerSearch(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		s, err := tuner.NewSearch("firewall", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.MaxRounds = 2
+		res := s.Run()
+		gain = res.Improvement
+	}
+	b.ReportMetric(gain, "tuner-gain")
+}
+
+// BenchmarkWorkload runs each (benchmark, config) cell individually so
+// per-cell simulation cost is visible.
+func BenchmarkWorkload(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		for _, alg := range spamer.Configs() {
+			alg := alg
+			b.Run(w.Name+"/"+alg, func(b *testing.B) {
+				var res spamer.Result
+				for i := 0; i < b.N; i++ {
+					res = w.Run(spamer.Config{Algorithm: alg, Deadline: 1 << 40}, 1)
+				}
+				b.ReportMetric(float64(res.Ticks), "sim-cycles")
+				b.ReportMetric(float64(res.Pushed), "messages")
+			})
+		}
+	}
+}

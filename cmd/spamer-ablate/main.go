@@ -1,0 +1,125 @@
+// Command spamer-ablate runs the ablation and sensitivity studies that
+// go beyond the paper's own figures: the wider speculation-algorithm
+// space §3.5 sketches (history-based, perceptron-style,
+// profiling-guided) plus the dynamic-reconfiguration future-work
+// variant; SRD sizing; interconnect topology (hop latency, channel
+// count — explicitly deferred by the paper); and the performance cost
+// of the §3.6 timing-obfuscation mitigation.
+//
+// Usage:
+//
+//	spamer-ablate [-what predictors|srd|hop|channels|devices|obfuscation|all] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spamer/internal/experiments"
+	"spamer/internal/report"
+)
+
+func main() {
+	what := flag.String("what", "all", "study: predictors|srd|hop|channels|devices|obfuscation|all")
+	scale := flag.Int("scale", 1, "message-count multiplier")
+	flag.Parse()
+
+	run := map[string]func(int){
+		"predictors":  predictors,
+		"srd":         srd,
+		"hop":         hop,
+		"channels":    channels,
+		"devices":     devices,
+		"obfuscation": obfuscation,
+	}
+	if *what == "all" {
+		for _, k := range []string{"predictors", "srd", "hop", "channels", "devices", "obfuscation"} {
+			run[k](*scale)
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*what]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -what %q\n", *what)
+		os.Exit(2)
+	}
+	f(*scale)
+}
+
+func predictors(scale int) {
+	fmt.Println("Ablation: delay-prediction algorithm space (speedup over VL)")
+	rows := experiments.PredictorStudy(scale)
+	names := experiments.PredictorNames()
+	table := [][]string{append([]string{"benchmark"}, names...)}
+	for _, r := range rows {
+		row := []string{r.Benchmark}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.2fx", r.Speedups[n]))
+		}
+		table = append(table, row)
+	}
+	report.Table(os.Stdout, table, true)
+}
+
+func srd(scale int) {
+	fmt.Println("Ablation: SRD structure sizing on firewall (tuned vs VL at each size)")
+	points, err := experiments.SRDEntriesSweep("firewall", []int{8, 16, 32, 64, 128}, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printSweep("entries", points)
+}
+
+func hop(scale int) {
+	fmt.Println("Ablation: hop latency on FIR (0delay vs VL at each latency)")
+	points, err := experiments.HopLatencySweep("FIR", []uint64{6, 12, 24, 48}, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printSweep("hop cycles", points)
+}
+
+func channels(scale int) {
+	fmt.Println("Ablation: interconnect channels on halo (0delay vs VL at each width)")
+	points, err := experiments.BusChannelsSweep("halo", []int{1, 2, 4, 8}, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printSweep("channels", points)
+}
+
+func devices(scale int) {
+	fmt.Println("Ablation: routing devices on halo (0delay vs VL at each count)")
+	points, err := experiments.DevicesSweep("halo", []int{1, 2, 4}, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printSweep("devices", points)
+}
+
+func obfuscation(scale int) {
+	fmt.Println("Ablation: §3.6 timing obfuscation cost (tuned, 32-cycle jitter bound)")
+	rows := experiments.ObfuscationStudy(32, scale)
+	table := [][]string{{"benchmark", "plain (cycles)", "obfuscated", "overhead"}}
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Benchmark, fmt.Sprint(r.Plain), fmt.Sprint(r.Obf),
+			fmt.Sprintf("%+.1f%%", r.Overhead*100),
+		})
+	}
+	report.Table(os.Stdout, table, true)
+}
+
+func printSweep(xName string, points []experiments.SweepPoint) {
+	table := [][]string{{xName, "SPAMeR cycles", "speedup vs VL"}}
+	for _, p := range points {
+		table = append(table, []string{fmt.Sprint(p.X), fmt.Sprint(p.Ticks), fmt.Sprintf("%.2fx", p.Speedup)})
+	}
+	report.Table(os.Stdout, table, true)
+}

@@ -1,0 +1,221 @@
+// Command spamer-bench regenerates the core evaluation artifacts of the
+// SPAMeR paper: Table 1 (hardware configuration), Table 2 (benchmarks),
+// Figure 8 (speedup over Virtual-Link), Figure 9 (execution-time
+// breakdown), Figure 10 (push failure rates and bus utilization), and
+// the §4.3 library-inlining study.
+//
+// Usage:
+//
+//	spamer-bench [-what all|config|workloads|fig8|fig9|fig10|inline] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"spamer/internal/experiments"
+	"spamer/internal/report"
+)
+
+func main() {
+	what := flag.String("what", "all", "which artifact to regenerate: all|config|workloads|fig8|fig9|fig10|inline")
+	scale := flag.Int("scale", 1, "message-count multiplier for every workload")
+	svgDir := flag.String("svg", "", "also write figure SVGs into this directory")
+	flag.Parse()
+
+	needMatrix := map[string]bool{"all": true, "fig8": true, "fig9": true, "fig10": true}
+	var m *experiments.Matrix
+	if needMatrix[*what] {
+		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d configurations (scale %d)...\n",
+			8, 4, *scale)
+		m = experiments.RunMatrix(*scale)
+	}
+
+	if *svgDir != "" && m != nil {
+		if err := writeSVGs(*svgDir, m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	switch *what {
+	case "all":
+		printConfig()
+		fmt.Println()
+		printWorkloads()
+		fmt.Println()
+		printFig8(m)
+		fmt.Println()
+		printFig9(m)
+		fmt.Println()
+		printFig10(m)
+		fmt.Println()
+		printInline(*scale)
+	case "config":
+		printConfig()
+	case "workloads":
+		printWorkloads()
+	case "fig8":
+		printFig8(m)
+	case "fig9":
+		printFig9(m)
+	case "fig10":
+		printFig10(m)
+	case "inline":
+		printInline(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -what %q\n", *what)
+		os.Exit(2)
+	}
+}
+
+// writeSVGs renders Figures 8 and 10 as SVG files.
+func writeSVGs(dir string, m *experiments.Matrix) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	algs := m.Configs[1:]
+	rows := experiments.Figure8(m)
+	groups := make([]string, len(rows))
+	speed := make([][]float64, len(rows))
+	for i, r := range rows {
+		groups[i] = r.Benchmark
+		for _, a := range algs {
+			speed[i] = append(speed[i], r.Speedups[a])
+		}
+	}
+	f, err := os.Create(dir + "/fig8-speedup.svg")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.SVGGroupedBars(f, "Figure 8: speedup over Virtual-Link", groups, algs, speed, 1.0); err != nil {
+		return err
+	}
+
+	cells := experiments.Figure10(m)
+	fail := make([][]float64, len(m.Benchmarks))
+	bus := make([][]float64, len(m.Benchmarks))
+	for i, b := range m.Benchmarks {
+		for _, a := range m.Configs {
+			fail[i] = append(fail[i], cells[b][a].FailureRate*100)
+			bus[i] = append(bus[i], cells[b][a].BusUtilization*100)
+		}
+	}
+	for _, out := range []struct {
+		name, title string
+		vals        [][]float64
+	}{
+		{"fig10a-failure.svg", "Figure 10a: push failure rate (%)", fail},
+		{"fig10b-bus.svg", "Figure 10b: bus utilization (%)", bus},
+	} {
+		g, err := os.Create(dir + "/" + out.name)
+		if err != nil {
+			return err
+		}
+		if err := report.SVGGroupedBars(g, out.title, m.Benchmarks, m.Configs, out.vals, 0); err != nil {
+			g.Close()
+			return err
+		}
+		g.Close()
+	}
+	fmt.Fprintln(os.Stderr, "wrote SVGs to", dir)
+	return nil
+}
+
+func printConfig() {
+	fmt.Println("Table 1: simulated hardware configuration")
+	report.Table(os.Stdout, experiments.Table1Rows(), true)
+}
+
+func printWorkloads() {
+	fmt.Println("Table 2: benchmarks")
+	report.Table(os.Stdout, experiments.Table2Rows(), true)
+}
+
+func printFig8(m *experiments.Matrix) {
+	rows := experiments.Figure8(m)
+	algs := m.Configs[1:]
+	fmt.Println("Figure 8: speedup over Virtual-Link (higher is better)")
+	table := [][]string{{"benchmark", "VL(ms)"}}
+	for _, a := range algs {
+		table[0] = append(table[0], a)
+	}
+	for _, r := range rows {
+		row := []string{r.Benchmark, fmt.Sprintf("%.3f", r.BaselineMS)}
+		for _, a := range algs {
+			row = append(row, fmt.Sprintf("%.2fx", r.Speedups[a]))
+		}
+		table = append(table, row)
+	}
+	geo := []string{"geomean", ""}
+	for _, a := range algs {
+		geo = append(geo, fmt.Sprintf("%.2fx", m.Geomean(a)))
+	}
+	table = append(table, geo)
+	report.Table(os.Stdout, table, true)
+	fmt.Println("paper reference geomeans: 0delay 1.45x, adapt 1.25x, tuned 1.33x")
+
+	groups := make([]string, len(rows))
+	values := make([][]float64, len(rows))
+	for i, r := range rows {
+		groups[i] = r.Benchmark
+		for _, a := range algs {
+			values[i] = append(values[i], r.Speedups[a])
+		}
+	}
+	fmt.Println()
+	report.GroupedBarChart(os.Stdout, "Figure 8 (bars):", groups, algs, values, "x")
+}
+
+func printFig9(m *experiments.Matrix) {
+	cells := experiments.Figure9(m)
+	fmt.Println("Figure 9: execution breakdown — avg consumer-cacheline cycles (millions), empty + non-empty")
+	table := [][]string{{"benchmark", "config", "empty(M)", "non-empty(M)", "total(M)"}}
+	for _, b := range m.Benchmarks {
+		for _, alg := range m.Configs {
+			c := cells[b][alg]
+			table = append(table, []string{
+				b, alg,
+				fmt.Sprintf("%.3f", c.EmptyM),
+				fmt.Sprintf("%.3f", c.NonEmptyM),
+				fmt.Sprintf("%.3f", c.EmptyM+c.NonEmptyM),
+			})
+		}
+	}
+	report.Table(os.Stdout, table, true)
+}
+
+func printFig10(m *experiments.Matrix) {
+	cells := experiments.Figure10(m)
+	fmt.Println("Figure 10a: push failure rate / Figure 10b: bus utilization")
+	table := [][]string{{"benchmark", "config", "failure", "bus util"}}
+	for _, b := range m.Benchmarks {
+		for _, alg := range m.Configs {
+			c := cells[b][alg]
+			table = append(table, []string{
+				b, alg,
+				fmt.Sprintf("%5.1f%%", c.FailureRate*100),
+				fmt.Sprintf("%5.1f%%", c.BusUtilization*100),
+			})
+		}
+	}
+	report.Table(os.Stdout, table, true)
+}
+
+func printInline(scale int) {
+	rows := experiments.InlineStudy(scale)
+	fmt.Println("§4.3 library inlining study (VL baseline, inlined vs function-call)")
+	table := [][]string{{"benchmark", "inline speedup"}}
+	prod := 1.0
+	for _, r := range rows {
+		table = append(table, []string{r.Benchmark, fmt.Sprintf("%.3fx", r.Speedup)})
+		prod *= r.Speedup
+	}
+	n := float64(len(rows))
+	table = append(table, []string{"geomean", fmt.Sprintf("%.3fx", math.Pow(prod, 1/n))})
+	report.Table(os.Stdout, table, true)
+	fmt.Println("paper reference: 1.02x average")
+}

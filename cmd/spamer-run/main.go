@@ -1,0 +1,57 @@
+// Command spamer-run executes experiments described as JSON specs and
+// emits machine-readable JSON outcomes, making reproduction scriptable
+// and diffable. Reads one spec (or an array) from a file or stdin.
+//
+// Usage:
+//
+//	spamer-run -spec experiment.json
+//	echo '{"benchmark":"FIR","algorithms":["vl","0delay"]}' | spamer-run
+//
+// Spec fields: benchmark, algorithms, scale, hop_latency, bus_channels,
+// devices, no_inline, srd_entries, tuned{zeta,tau,delta,alpha,beta},
+// repeat (determinism check), label,
+// extensions{allow_extended_workloads}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spamer/internal/experiments"
+)
+
+func main() {
+	specPath := flag.String("spec", "-", "spec file path, or - for stdin")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *specPath != "-" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	specs, err := experiments.ReadSpecs(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var all []experiments.Outcome
+	for i := range specs {
+		outs, err := specs[i].Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spec %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		all = append(all, outs...)
+	}
+	if err := experiments.WriteOutcomes(os.Stdout, all); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

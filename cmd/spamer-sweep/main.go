@@ -1,0 +1,70 @@
+// Command spamer-sweep regenerates Figure 11: the sensitivity of the
+// tuned delay-prediction algorithm's parameters (ζ, τ, δ, α, β),
+// plotting normalized end-to-end execution time ("delay") against the
+// normalized dynamic energy of SRD pushes, per benchmark, with the
+// baseline at (1, 1).
+//
+// Usage:
+//
+//	spamer-sweep [-bench FIR,firewall,...] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spamer/internal/experiments"
+	"spamer/internal/report"
+	"spamer/internal/workloads"
+)
+
+func main() {
+	benchList := flag.String("bench", strings.Join(workloads.Names(), ","),
+		"comma-separated benchmarks to sweep")
+	scale := flag.Int("scale", 1, "message-count multiplier")
+	svgDir := flag.String("svg", "", "also write per-benchmark scatter SVGs into this directory")
+	flag.Parse()
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	for _, name := range strings.Split(*benchList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		points, err := experiments.Figure11(name, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		labels := make([]string, len(points))
+		xs := make([]float64, len(points))
+		ys := make([]float64, len(points))
+		for i, p := range points {
+			labels[i], xs[i], ys[i] = p.Label, p.DelayNorm, p.EnergyNorm
+		}
+		report.Scatter(os.Stdout, "Figure 11: "+name, labels, xs, ys, "delay norm", "energy norm")
+		if *svgDir != "" {
+			f, err := os.Create(fmt.Sprintf("%s/fig11-%s.svg", *svgDir, name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := report.SVGScatter(f, "Figure 11: "+name, "delay (normalized)", "energy (normalized)", labels, xs, ys); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		fmt.Println()
+	}
+	fmt.Println("closer to the origin is better; VL(baseline) anchors (1, 1)")
+}

@@ -1,0 +1,75 @@
+// Dataflow: a streaming sensor-analytics graph built with the dataflow
+// runtime on top of the hardware queues — the application class the
+// paper's introduction motivates. Samples stream from two sensor
+// sources, merge, are filtered and feature-extracted by a replicated
+// operator pool, then routed to separate alarm and archive sinks.
+//
+//	sensorA --\                        /--> alarms
+//	            merge -> features(x4) -
+//	sensorB --/                        \--> archive
+package main
+
+import (
+	"fmt"
+
+	"spamer"
+	"spamer/internal/dataflow"
+)
+
+const samples = 1500
+
+func run(alg string) (spamer.Result, int, int) {
+	sys := spamer.NewSystem(spamer.Config{Algorithm: alg})
+	g := dataflow.New(sys)
+
+	sensorA := g.Source("sensorA", samples, 12, func(i int) uint64 {
+		return uint64(i)*7919%1024 + 0<<12 // deterministic pseudo-signal
+	})
+	sensorB := g.Source("sensorB", samples, 14, func(i int) uint64 {
+		return uint64(i)*104729%1024 + 1<<12
+	})
+
+	merge := g.Op("merge", 1, 8, func(v uint64, emit dataflow.Emit) {
+		emit(0, v)
+	})
+
+	// Feature extraction: a pool of four workers sharing the input
+	// queue (an M:N edge); values above the threshold raise alarms.
+	features := g.Op("features", 4, 90, func(v uint64, emit dataflow.Emit) {
+		level := v & 1023
+		if level > 900 {
+			emit(0, v) // alarm path
+		}
+		emit(1, v) // archive path
+	})
+
+	alarms, archived := 0, 0
+	alarmSink := g.Sink("alarms", 20, func(v uint64) { alarms++ })
+	archiveSink := g.Sink("archive", 10, func(v uint64) { archived++ })
+
+	g.Connect(sensorA, merge, 4)
+	g.Connect(sensorB, merge, 4)
+	g.Connect(merge, features, 4)
+	g.Connect(features, alarmSink, 4)
+	g.Connect(features, archiveSink, 8)
+
+	res := g.Run()
+	return res, alarms, archived
+}
+
+func main() {
+	fmt.Printf("%-8s %12s %8s %9s\n", "config", "cycles", "alarms", "archived")
+	var base spamer.Result
+	for _, alg := range []string{spamer.AlgBaseline, spamer.AlgTuned} {
+		res, alarms, archived := run(alg)
+		if alg == spamer.AlgBaseline {
+			base = res
+		}
+		fmt.Printf("%-8s %12d %8d %9d", alg, res.Ticks, alarms, archived)
+		if alg != spamer.AlgBaseline {
+			fmt.Printf("   (%.2fx)", res.Speedup(base))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nresults are identical across configs; only the timing changes.")
+}

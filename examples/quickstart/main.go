@@ -1,0 +1,57 @@
+// Quickstart: build a simulated multi-core system, connect a producer
+// and a consumer through a hardware message queue, and compare the
+// Virtual-Link baseline against SPAMeR's speculative pushes.
+package main
+
+import (
+	"fmt"
+
+	"spamer"
+)
+
+func run(alg string) spamer.Result {
+	// A System is one simulated 16-core machine with a routing device
+	// of the requested flavour attached to its coherence network.
+	sys := spamer.NewSystem(spamer.Config{Algorithm: alg})
+
+	// A Queue is one M:N message channel (a Shared Queue Identifier).
+	q := sys.NewQueue("work")
+
+	const messages = 1000
+
+	// Threads are simulation processes pinned to cores. The producer
+	// generates items faster than the consumer handles them, so data
+	// waits at the routing device — the situation speculation exploits.
+	sys.Spawn("producer", func(t *spamer.Thread) {
+		tx := q.NewProducer(0)
+		for i := 0; i < messages; i++ {
+			t.Compute(15) // generate an item
+			tx.Push(t.Proc, uint64(i))
+		}
+	})
+	sys.Spawn("consumer", func(t *spamer.Thread) {
+		rx := q.NewConsumer(t.Proc, 4) // 4 cache-line buffer
+		for i := 0; i < messages; i++ {
+			msg := rx.Pop(t.Proc)
+			if msg.Seq != uint64(i) {
+				panic("FIFO violation")
+			}
+			t.Compute(25) // handle the item
+		}
+	})
+
+	return sys.Run()
+}
+
+func main() {
+	baseline := run(spamer.AlgBaseline)
+	spec := run(spamer.AlgTuned)
+
+	fmt.Printf("Virtual-Link baseline: %7d cycles (%.3f ms)\n", baseline.Ticks, baseline.MS)
+	fmt.Printf("SPAMeR (tuned):        %7d cycles (%.3f ms)\n", spec.Ticks, spec.MS)
+	fmt.Printf("speedup:               %.2fx\n", spec.Speedup(baseline))
+	fmt.Printf("\nSPAMeR issued %d speculative pushes (%d hit, %d retried)\n",
+		spec.Device.SpecPushes, spec.Device.SpecHits, spec.Device.SpecMisses)
+	fmt.Printf("requests on the bus: baseline %d, SPAMeR %d\n",
+		baseline.Device.Fetches, spec.Device.Fetches)
+}

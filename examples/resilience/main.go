@@ -1,0 +1,73 @@
+// Resilience: the operational features around the core mechanism —
+// deterministic cache-eviction injection (messages survive; §3.1's
+// retry loop absorbs the faults), queue teardown with SQI recycling,
+// and multiple routing devices — all under SPAMeR speculation.
+package main
+
+import (
+	"fmt"
+
+	"spamer"
+)
+
+const messages = 800
+
+func run(evictEvery uint64) spamer.Result {
+	sys := spamer.NewSystem(spamer.Config{
+		Algorithm:  spamer.AlgTuned,
+		Devices:    2,          // queues spread over two routing devices
+		EvictEvery: evictEvery, // failure injection (0 = off)
+	})
+	q1 := sys.NewQueue("phase1")
+	q2 := sys.NewQueue("phase2")
+
+	sys.Spawn("source", func(t *spamer.Thread) {
+		tx := q1.NewProducer(0)
+		for i := 0; i < messages; i++ {
+			t.Compute(12)
+			tx.Push(t.Proc, uint64(i))
+		}
+	})
+	sys.Spawn("transform", func(t *spamer.Thread) {
+		rx := q1.NewConsumer(t.Proc, 4)
+		tx := q2.NewProducer(0)
+		for i := 0; i < messages; i++ {
+			m := rx.Pop(t.Proc)
+			t.Compute(20)
+			tx.Push(t.Proc, m.Payload*2)
+		}
+	})
+	var checksum uint64
+	sys.Spawn("sink", func(t *spamer.Thread) {
+		rx := q2.NewConsumer(t.Proc, 4)
+		for i := 0; i < messages; i++ {
+			checksum += rx.Pop(t.Proc).Payload
+			t.Compute(15)
+		}
+	})
+
+	res := sys.Run()
+
+	// Teardown: drained queues return their SQIs and specBuf entries.
+	for _, q := range []*spamer.Queue{q1, q2} {
+		if err := q.Close(); err != nil {
+			panic(err)
+		}
+	}
+	want := uint64(messages * (messages - 1)) // 2 * sum(0..n-1)
+	if checksum != want {
+		panic(fmt.Sprintf("checksum %d != %d", checksum, want))
+	}
+	return res
+}
+
+func main() {
+	clean := run(0)
+	faulty := run(400) // evict a consumer line every 400 cycles
+
+	fmt.Printf("clean run:   %6d cycles, 0 evictions\n", clean.Ticks)
+	fmt.Printf("faulty run:  %6d cycles (every message still delivered, in order)\n", faulty.Ticks)
+	fmt.Printf("slowdown under fault injection: %.2fx\n",
+		float64(faulty.Ticks)/float64(clean.Ticks))
+	fmt.Println("\nboth runs checksum-verified; queues closed and SQIs recycled.")
+}

@@ -1,0 +1,50 @@
+// Sensitivity: explore the tuned algorithm's parameter space on one
+// benchmark the way §4.4 does, including a custom (user-defined)
+// parameter set — the knob a deployment would turn to match its own
+// workload's timing.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"spamer"
+	"spamer/internal/config"
+	"spamer/internal/workloads"
+)
+
+func main() {
+	w, _ := workloads.ByName("FIR")
+	base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline}, 1)
+	fmt.Printf("FIR baseline: %d cycles\n\n", base.Ticks)
+
+	type point struct {
+		params config.TunedParams
+		delay  float64
+		energy float64
+	}
+	var pts []point
+	for _, zeta := range []uint64{128, 256, 512} {
+		for _, delta := range []uint64{16, 64, 128} {
+			p := config.TunedParams{Zeta: zeta, Tau: 96, Delta: delta, Alpha: 1, Beta: 2}
+			res := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, Tuned: p}, 1)
+			pts = append(pts, point{
+				params: p,
+				delay:  float64(res.Ticks) / float64(base.Ticks),
+				energy: float64(res.Device.TotalPushes()) / float64(base.Device.TotalPushes()),
+			})
+		}
+	}
+	// Rank by distance to the origin — "the closer to the origin point,
+	// the better an algorithm is" (§4.4).
+	sort.Slice(pts, func(i, j int) bool {
+		di := pts[i].delay*pts[i].delay + pts[i].energy*pts[i].energy
+		dj := pts[j].delay*pts[j].delay + pts[j].energy*pts[j].energy
+		return di < dj
+	})
+	fmt.Printf("%-32s %10s %10s\n", "parameters", "delay", "energy")
+	for _, p := range pts {
+		fmt.Printf("%-32s %10.3f %10.3f\n", p.params, p.delay, p.energy)
+	}
+	fmt.Printf("\npaper's published set: %s\n", config.DefaultTuned())
+}

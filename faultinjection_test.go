@@ -1,0 +1,119 @@
+package spamer
+
+import "testing"
+
+// TestEvictionInjectionCorrectness: under periodic line evictions every
+// configuration still delivers every message in order — the retry loop
+// (device side) and refetch-on-access (consumer side) absorb the
+// faults.
+func TestEvictionInjectionCorrectness(t *testing.T) {
+	for _, alg := range Configs() {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			t.Parallel()
+			sys := NewSystem(Config{Algorithm: alg, EvictEvery: 300, Deadline: 1 << 32})
+			q := sys.NewQueue("q")
+			const n = 300
+			sys.Spawn("producer", func(th *Thread) {
+				pr := q.NewProducer(0)
+				for i := 0; i < n; i++ {
+					th.Compute(15)
+					pr.Push(th.Proc, uint64(i))
+				}
+			})
+			sys.Spawn("consumer", func(th *Thread) {
+				c := q.NewConsumer(th.Proc, 2)
+				for i := 0; i < n; i++ {
+					m := c.Pop(th.Proc)
+					if m.Seq != uint64(i) {
+						t.Errorf("seq %d at pop %d", m.Seq, i)
+					}
+					th.Compute(25)
+				}
+			})
+			res := sys.Run()
+			if res.Pushed != n || res.Popped != n {
+				t.Fatalf("conservation: %d/%d", res.Pushed, res.Popped)
+			}
+			evictions := uint64(0)
+			for _, c := range q.Inner().Consumers() {
+				for _, l := range c.Lines() {
+					evictions += l.Evictions()
+				}
+			}
+			if evictions == 0 {
+				t.Fatal("injector never fired")
+			}
+		})
+	}
+}
+
+// TestEvictionInjectionDegradesGracefully: faults slow the system down
+// but never by more than the retry-path worst case.
+func TestEvictionInjectionDegradesGracefully(t *testing.T) {
+	run := func(every uint64) Result {
+		sys := NewSystem(Config{Algorithm: AlgTuned, EvictEvery: every, Deadline: 1 << 32})
+		q := sys.NewQueue("q")
+		const n = 300
+		sys.Spawn("p", func(th *Thread) {
+			pr := q.NewProducer(0)
+			for i := 0; i < n; i++ {
+				th.Compute(15)
+				pr.Push(th.Proc, uint64(i))
+			}
+		})
+		sys.Spawn("c", func(th *Thread) {
+			rx := q.NewConsumer(th.Proc, 2)
+			for i := 0; i < n; i++ {
+				rx.Pop(th.Proc)
+				th.Compute(25)
+			}
+		})
+		return sys.Run()
+	}
+	clean := run(0)
+	faulty := run(500)
+	if faulty.Ticks < clean.Ticks {
+		t.Fatalf("faults sped things up: %d vs %d", faulty.Ticks, clean.Ticks)
+	}
+	if float64(faulty.Ticks) > float64(clean.Ticks)*2.0 {
+		t.Fatalf("faults more than doubled runtime: %d vs %d", faulty.Ticks, clean.Ticks)
+	}
+}
+
+// TestEvictionInjectionOnWorkload: a full benchmark survives injection.
+func TestEvictionInjectionOnWorkload(t *testing.T) {
+	sys := NewSystem(Config{Algorithm: AlgZeroDelay, EvictEvery: 997, Deadline: 1 << 34})
+	// firewall has 4 queues and 5 threads; build it inline to avoid an
+	// import cycle with internal/workloads.
+	rx := sys.NewQueue("rx")
+	out := sys.NewQueue("out")
+	const n = 400
+	sys.Spawn("rx", func(th *Thread) {
+		pr := rx.NewProducer(0)
+		for i := 0; i < n; i++ {
+			th.Compute(20)
+			pr.Push(th.Proc, uint64(i))
+		}
+	})
+	sys.Spawn("fw", func(th *Thread) {
+		c := rx.NewConsumer(th.Proc, 4)
+		pr := out.NewProducer(0)
+		for i := 0; i < n; i++ {
+			m := c.Pop(th.Proc)
+			th.Compute(40)
+			pr.Push(th.Proc, m.Payload)
+		}
+	})
+	sys.Spawn("sink", func(th *Thread) {
+		c := out.NewConsumer(th.Proc, 4)
+		for i := 0; i < n; i++ {
+			c.Pop(th.Proc)
+			th.Compute(15)
+		}
+	})
+	res := sys.Run()
+	if res.Pushed != 2*n || res.Popped != 2*n {
+		t.Fatalf("conservation: %d/%d", res.Pushed, res.Popped)
+	}
+}

@@ -1,0 +1,3 @@
+module spamer
+
+go 1.22

@@ -1,0 +1,56 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTickConversions(t *testing.T) {
+	if TicksToNS(2) != 1 {
+		t.Fatalf("TicksToNS(2) = %v", TicksToNS(2))
+	}
+	if TicksToMS(2_000_000) != 1 {
+		t.Fatalf("TicksToMS = %v", TicksToMS(2_000_000))
+	}
+}
+
+func TestDefaultTunedMatchesPaper(t *testing.T) {
+	p := DefaultTuned()
+	if p.Zeta != 256 || p.Tau != 96 || p.Delta != 64 || p.Alpha != 1 || p.Beta != 2 {
+		t.Fatalf("params = %+v", p)
+	}
+	s := p.String()
+	for _, frag := range []string{"ζ=256", "τ=96", "δ=64", "α=1", "β=2"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "Cores" || !strings.Contains(rows[0][1], "16") {
+		t.Fatalf("cores row = %v", rows[0])
+	}
+	if !strings.Contains(rows[3][1], "64 entries") {
+		t.Fatalf("SRD row = %v", rows[3])
+	}
+}
+
+func TestConstantsSane(t *testing.T) {
+	if SRDEntries != 64 || NumCores != 16 || LineBytes != 64 {
+		t.Fatal("Table 1 constants drifted")
+	}
+	if InlineOverheadCycles >= CallOverheadCycles {
+		t.Fatal("inlining must be cheaper than a call")
+	}
+	if DelayCapCycles < 1024 {
+		t.Fatal("delay cap too small for liveness margins")
+	}
+	if SpamerRegCycles != VLFetchCycles {
+		t.Fatal("spamer_register must cost the same as its vl_fetch alias")
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"spamer/internal/mem"
+)
+
+// Per-prediction cost of each delay algorithm — the logic the SRD would
+// run in hardware every speculation (Figure 6 shows the tuned one as a
+// small combinational block; these stay in the tens of nanoseconds in
+// software).
+func BenchmarkSendTick(b *testing.B) {
+	for _, alg := range ExtendedAlgorithms() {
+		alg := alg
+		b.Run(alg.Name(), func(b *testing.B) {
+			st := alg.Initial()
+			for i := 0; i < b.N; i++ {
+				_ = alg.SendTick(&st, uint64(i)*7)
+			}
+		})
+	}
+}
+
+func BenchmarkOnResponse(b *testing.B) {
+	for _, alg := range ExtendedAlgorithms() {
+		alg := alg
+		b.Run(alg.Name(), func(b *testing.B) {
+			st := alg.Initial()
+			for i := 0; i < b.N; i++ {
+				alg.OnResponse(&st, i%3 != 0, uint64(i)*11)
+			}
+		})
+	}
+}
+
+// BenchmarkSpecBufSelect measures the Stage-2/3 lookup+writeback path.
+func BenchmarkSpecBufSelect(b *testing.B) {
+	buf := NewSpecBuf(64, ZeroDelay{})
+	for i := 0; i < 4; i++ {
+		if err := buf.Register(1, mem.Addr(0x1000*(i+1)), 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cookie, _, ok := buf.SelectTarget(1, uint64(i))
+		if !ok {
+			b.Fatal("select failed")
+		}
+		buf.OnResult(cookie, true, uint64(i))
+	}
+}

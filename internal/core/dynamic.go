@@ -1,0 +1,58 @@
+package core
+
+import "spamer/internal/config"
+
+// DynamicTuned implements the paper's future-work idea of reconfiguring
+// the tuned algorithm's parameters dynamically (§3.5: "As future work,
+// we could search to find a more optimal set of parameters for each
+// benchmark and reconfigure those parameters dynamically").
+//
+// It runs the Listing 1 machinery but scales the additive step δ with
+// the magnitude of the current delay estimate: fine steps (MinDelta)
+// when tracking a short fast-path period, coarse steps when scanning
+// after a long slow-path episode, so the scan cost stays proportional
+// to the period being scanned instead of fixed.
+type DynamicTuned struct {
+	P        config.TunedParams
+	MinDelta uint64
+	MaxDelta uint64
+	// Shift sets the proportionality: δ_eff = delay >> Shift, clamped.
+	Shift uint
+}
+
+// NewDynamicTuned returns the dynamic variant at the published base
+// parameters with δ ranging over [16, 256].
+func NewDynamicTuned() DynamicTuned {
+	return DynamicTuned{P: config.DefaultTuned(), MinDelta: 16, MaxDelta: 256, Shift: 3}
+}
+
+// Name implements DelayAlgorithm.
+func (DynamicTuned) Name() string { return "dyntuned" }
+
+// Initial implements DelayAlgorithm.
+func (d DynamicTuned) Initial() PredState { return PredState{} }
+
+// effective returns the Tuned instance with δ reconfigured for the
+// entry's current delay magnitude.
+func (d DynamicTuned) effective(st *PredState) Tuned {
+	p := d.P
+	delta := st.Delay >> d.Shift
+	if delta < d.MinDelta {
+		delta = d.MinDelta
+	}
+	if delta > d.MaxDelta {
+		delta = d.MaxDelta
+	}
+	p.Delta = delta
+	return Tuned{P: p}
+}
+
+// SendTick implements DelayAlgorithm.
+func (d DynamicTuned) SendTick(st *PredState, now uint64) uint64 {
+	return d.effective(st).SendTick(st, now)
+}
+
+// OnResponse implements DelayAlgorithm.
+func (d DynamicTuned) OnResponse(st *PredState, hit bool, now uint64) {
+	d.effective(st).OnResponse(st, hit, now)
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"spamer/internal/config"
+)
+
+// FuzzPredictors drives every delay algorithm with arbitrary outcome
+// sequences and checks the global safety invariants: predictions never
+// precede the last successful push, never run away past the cap, and
+// the state timestamps stay monotone.
+func FuzzPredictors(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 1}, []byte{10, 20, 5, 200, 1})
+	f.Add([]byte{1, 1, 1, 1}, []byte{1, 1, 1, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, []byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, outcomes, gaps []byte) {
+		if len(outcomes) > 512 {
+			outcomes = outcomes[:512]
+		}
+		for _, alg := range ExtendedAlgorithms() {
+			st := alg.Initial()
+			now := uint64(1)
+			for i, o := range outcomes {
+				g := uint64(7)
+				if i < len(gaps) {
+					g = uint64(gaps[i]) + 1
+				}
+				now += g
+				tick := alg.SendTick(&st, now)
+				if tick+1 < st.Last {
+					t.Fatalf("%s: tick %d before last %d", alg.Name(), tick, st.Last)
+				}
+				if tick > now+2*config.DelayCapCycles {
+					t.Fatalf("%s: tick %d runaway (now %d)", alg.Name(), tick, now)
+				}
+				alg.OnResponse(&st, o&1 == 1, now)
+				if st.Last > now {
+					t.Fatalf("%s: Last %d beyond now %d", alg.Name(), st.Last, now)
+				}
+			}
+		}
+	})
+}

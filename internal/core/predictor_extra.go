@@ -1,0 +1,341 @@
+package core
+
+import (
+	"spamer/internal/config"
+)
+
+// This file implements the speculation-algorithm classes §3.5 name-drops
+// beyond the paper's three evaluated designs — "speculative pushing
+// could be history-based [33], profiling-guided [30],
+// heuristic-oriented [50], or perceptron-style [8]" — as additional
+// DelayAlgorithm implementations. They reuse the same per-specBuf-entry
+// state word (PredState) plus small fixed-size private tables, keeping
+// the hardware cost story of §4.5 plausible.
+
+// ---------------------------------------------------------------------
+// History-based: a per-entry global-history buffer of recent
+// vacate-to-vacate intervals (after Nesbit & Smith's GHB prefetcher).
+// The prediction is the minimum of the recent intervals — the fast-path
+// period — rather than the mean, so one slow-path episode does not
+// poison the estimate the way the tuned algorithm's single-interval
+// reference can.
+// ---------------------------------------------------------------------
+
+// historyDepth is the GHB depth per entry. Kept small: 4 intervals of
+// 16 bits each is one extra register per specBuf entry.
+const historyDepth = 4
+
+// History is the history-based delay algorithm.
+type History struct {
+	// Slack is subtracted from the minimum observed interval so the
+	// push arrives slightly before the predicted vacate and retries
+	// once cheaply rather than waiting a full period.
+	Slack uint64
+}
+
+// NewHistory returns the history-based algorithm with default slack.
+func NewHistory() History { return History{Slack: 16} }
+
+// Name implements DelayAlgorithm.
+func (History) Name() string { return "history" }
+
+// historyState unpacks the per-entry history ring from PredState.DDL,
+// which the history algorithm repurposes as 4x16-bit packed storage
+// (the tuned algorithm's ddl register, §3.5 notes different algorithms
+// "might require additional storage").
+func historyPush(packed uint64, interval uint64) uint64 {
+	if interval > 0xffff {
+		interval = 0xffff
+	}
+	return (packed << 16) | interval
+}
+
+func historyMin(packed uint64) uint64 {
+	min := uint64(0)
+	for i := 0; i < historyDepth; i++ {
+		v := (packed >> (16 * i)) & 0xffff
+		if v == 0 {
+			continue
+		}
+		if min == 0 || v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Initial implements DelayAlgorithm.
+func (History) Initial() PredState { return PredState{} }
+
+// SendTick implements DelayAlgorithm: push at last + (min interval −
+// slack), or immediately while the history is still cold. Every fourth
+// prediction probes at half (or a quarter of) the learned interval:
+// observed intervals include the predictor's own lateness, so without
+// deliberately early probes a slow start locks into a self-fulfilling
+// late rhythm (the consumer is only ever offered data at the learned
+// spacing, so every interval confirms it).
+func (h History) SendTick(st *PredState, now uint64) uint64 {
+	min := historyMin(st.DDL)
+	if min == 0 {
+		return now // cold: behave like 0-delay to gather history
+	}
+	switch st.NFills % 4 {
+	case 0:
+		min >>= 1 // half-interval probe
+	case 2:
+		min >>= 2 // quarter-interval probe
+	}
+	slack := h.Slack
+	target := st.Last + min
+	if target > slack {
+		target -= slack
+	}
+	if target < now {
+		return now
+	}
+	return target
+}
+
+// OnResponse implements DelayAlgorithm: hits record the new interval;
+// misses back off additively (retries are how the cold predictor
+// learns that it pushed too early).
+func (h History) OnResponse(st *PredState, hit bool, now uint64) {
+	if hit {
+		if st.Last != 0 {
+			st.DDL = historyPush(st.DDL, now-st.Last)
+		}
+		st.NFills++
+		st.Last = now
+		st.Delay = 0
+	} else {
+		st.Delay += h.Slack
+		if st.Delay > config.DelayCapCycles {
+			st.Delay = config.DelayCapCycles
+		}
+	}
+	st.Failed = !hit
+}
+
+// ---------------------------------------------------------------------
+// Perceptron-style: a tiny perceptron (after Bhatia et al.'s perceptron
+// prefetch filter) decides between pushing immediately and waiting one
+// predicted period, from three features of the entry's recent
+// behaviour. Weights live in the entry's Delay register as packed
+// signed bytes.
+// ---------------------------------------------------------------------
+
+// Perceptron is the perceptron-style delay algorithm.
+type Perceptron struct {
+	// Threshold is the decision margin; larger is more conservative
+	// (waits more often).
+	Threshold int32
+}
+
+// NewPerceptron returns a perceptron predictor with the default margin.
+func NewPerceptron() Perceptron { return Perceptron{Threshold: 0} }
+
+// Name implements DelayAlgorithm.
+func (Perceptron) Name() string { return "perceptron" }
+
+// Initial implements DelayAlgorithm.
+func (Perceptron) Initial() PredState { return PredState{} }
+
+// weights are packed in Delay as 3 signed bytes (+ bias byte).
+func unpackW(d uint64) [4]int8 {
+	return [4]int8{int8(d), int8(d >> 8), int8(d >> 16), int8(d >> 24)}
+}
+
+func packW(w [4]int8) uint64 {
+	return uint64(uint8(w[0])) | uint64(uint8(w[1]))<<8 | uint64(uint8(w[2]))<<16 | uint64(uint8(w[3]))<<24
+}
+
+// features derives the input vector: did the last push miss, has the
+// entry been filling recently, and is the elapsed time past the rolling
+// interval estimate (kept in DDL).
+func perceptronFeatures(st *PredState, now uint64) [3]int32 {
+	var f [3]int32
+	if st.Failed {
+		f[0] = 1
+	} else {
+		f[0] = -1
+	}
+	if st.NFills&1 == 1 {
+		f[1] = 1
+	} else {
+		f[1] = -1
+	}
+	if st.DDL > 0 && now-st.Last >= st.DDL {
+		f[2] = 1
+	} else {
+		f[2] = -1
+	}
+	return f
+}
+
+func perceptronSum(w [4]int8, f [3]int32) int32 {
+	s := int32(w[3]) // bias
+	for i := 0; i < 3; i++ {
+		s += int32(w[i]) * f[i]
+	}
+	return s
+}
+
+// SendTick implements DelayAlgorithm: a positive activation pushes now;
+// a negative one waits the rolling interval estimate.
+func (p Perceptron) SendTick(st *PredState, now uint64) uint64 {
+	w := unpackW(st.Delay)
+	f := perceptronFeatures(st, now)
+	if perceptronSum(w, f) >= p.Threshold {
+		return now
+	}
+	wait := st.DDL
+	if wait == 0 {
+		wait = 32
+	}
+	target := st.Last + wait
+	if target < now {
+		return now
+	}
+	return target
+}
+
+// OnResponse implements DelayAlgorithm: perceptron update on the
+// push-now decision (hit = pushing was right), plus a rolling interval
+// estimate in DDL (quarter-step EWMA).
+func (p Perceptron) OnResponse(st *PredState, hit bool, now uint64) {
+	w := unpackW(st.Delay)
+	f := perceptronFeatures(st, now)
+	dir := int32(-1)
+	if hit {
+		dir = 1
+	}
+	for i := 0; i < 3; i++ {
+		nw := int32(w[i]) + dir*f[i]
+		if nw > 63 {
+			nw = 63
+		}
+		if nw < -64 {
+			nw = -64
+		}
+		w[i] = int8(nw)
+	}
+	b := int32(w[3]) + dir
+	if b > 63 {
+		b = 63
+	}
+	if b < -64 {
+		b = -64
+	}
+	w[3] = int8(b)
+	st.Delay = packW(w)
+	if hit {
+		if st.Last != 0 {
+			interval := now - st.Last
+			if st.DDL == 0 {
+				st.DDL = interval
+			} else {
+				// Quarter-step EWMA with signed delta: the interval
+				// can shrink below the running estimate.
+				st.DDL = uint64(int64(st.DDL) + (int64(interval)-int64(st.DDL))/4)
+			}
+			if st.DDL > config.DelayCapCycles {
+				st.DDL = config.DelayCapCycles
+			}
+		}
+		st.NFills++
+		st.Last = now
+	}
+	st.Failed = !hit
+}
+
+// ---------------------------------------------------------------------
+// Profile-guided: a two-phase algorithm (after Luk et al.'s post-link
+// stride profiling). During the first ProfileFills successful pushes it
+// behaves like 0-delay while recording the median-ish interval; it then
+// locks the learned delay and only re-profiles after a burst of misses.
+// ---------------------------------------------------------------------
+
+// Profiled is the profiling-guided delay algorithm.
+type Profiled struct {
+	// ProfileFills is the length of the profiling phase.
+	ProfileFills uint64
+	// ReprofileMisses triggers a new profiling phase after this many
+	// consecutive misses (the workload changed).
+	ReprofileMisses uint64
+	// ReprofileFills forces a fresh profile after this many locked
+	// fills, so a profile poisoned by a transient slow phase cannot
+	// persist forever.
+	ReprofileFills uint64
+}
+
+// NewProfiled returns the profiling-guided algorithm with defaults.
+func NewProfiled() Profiled {
+	return Profiled{ProfileFills: 8, ReprofileMisses: 6, ReprofileFills: 64}
+}
+
+// Name implements DelayAlgorithm.
+func (Profiled) Name() string { return "profiled" }
+
+// Initial implements DelayAlgorithm.
+func (Profiled) Initial() PredState { return PredState{} }
+
+// SendTick implements DelayAlgorithm. During profiling (NFills below
+// the phase length) push immediately; afterwards push at the locked
+// delay after the last success.
+func (pr Profiled) SendTick(st *PredState, now uint64) uint64 {
+	if st.NFills < pr.ProfileFills || st.Delay == 0 {
+		return now
+	}
+	target := st.Last + st.Delay
+	if target < now {
+		return now
+	}
+	return target
+}
+
+// OnResponse implements DelayAlgorithm. During profiling DDL accumulates
+// the interval sum; when the profile locks, the delay becomes 7/8 of the
+// mean profiled interval (arrive slightly early) and DDL is repurposed
+// as a consecutive-miss counter. A miss burst resets the whole state —
+// the consumer's rhythm changed, re-profile.
+func (pr Profiled) OnResponse(st *PredState, hit bool, now uint64) {
+	if hit {
+		if st.NFills < pr.ProfileFills {
+			if st.Last != 0 {
+				interval := now - st.Last
+				// Track the MINIMUM profiled interval — the fast-path
+				// period. A mean would be poisoned by any slow-path
+				// episode inside the profiling window and lock the
+				// predictor into a late rhythm it then never escapes
+				// (late pushes still hit, so nothing corrects it).
+				if st.DDL == 0 || interval < st.DDL {
+					st.DDL = interval
+				}
+			}
+			st.NFills++
+			if st.NFills == pr.ProfileFills && pr.ProfileFills > 1 {
+				st.Delay = st.DDL - st.DDL/8
+				if st.Delay > config.DelayCapCycles {
+					st.Delay = config.DelayCapCycles
+				}
+				st.DDL = 0 // repurposed: consecutive-miss counter
+			}
+		} else {
+			st.NFills++
+			st.DDL = 0 // the streak is broken
+			if pr.ReprofileFills > 0 && st.NFills >= pr.ProfileFills+pr.ReprofileFills {
+				*st = PredState{} // scheduled re-profile
+			}
+		}
+		st.Last = now
+		st.Failed = false
+		return
+	}
+	st.Failed = true
+	if st.NFills >= pr.ProfileFills {
+		st.DDL++
+		if st.DDL >= pr.ReprofileMisses {
+			*st = PredState{}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spamer/internal/config"
+)
+
+func TestHistoryColdBehavesLikeZeroDelay(t *testing.T) {
+	h := NewHistory()
+	st := h.Initial()
+	if got := h.SendTick(&st, 500); got != 500 {
+		t.Fatalf("cold SendTick = %d", got)
+	}
+}
+
+func TestHistoryLearnsMinimumInterval(t *testing.T) {
+	h := NewHistory()
+	st := h.Initial()
+	// Hits at intervals 100, 400, 120, 110: the fast-path period is
+	// ~100; one slow episode (400) must not dominate.
+	now := uint64(1000)
+	for _, gap := range []uint64{0, 100, 400, 120, 110} {
+		now += gap
+		h.OnResponse(&st, true, now)
+	}
+	tick := h.SendTick(&st, now)
+	want := st.Last + 100 - h.Slack
+	if tick != want {
+		t.Fatalf("SendTick = %d, want %d (min interval - slack)", tick, want)
+	}
+}
+
+func TestHistoryRingBounded(t *testing.T) {
+	h := NewHistory()
+	st := h.Initial()
+	now := uint64(0)
+	for i := 0; i < 100; i++ {
+		now += 50
+		h.OnResponse(&st, true, now)
+	}
+	if m := historyMin(st.DDL); m != 50 {
+		t.Fatalf("min after long run = %d", m)
+	}
+	// Huge intervals saturate the 16-bit slots rather than wrapping.
+	h.OnResponse(&st, true, now+1<<20)
+	for i := 0; i < historyDepth-1; i++ {
+		h.OnResponse(&st, true, now+1<<20+uint64(i+1)<<20)
+	}
+	if m := historyMin(st.DDL); m != 0xffff {
+		t.Fatalf("saturated min = %d", m)
+	}
+}
+
+func TestPerceptronWeightsBounded(t *testing.T) {
+	p := NewPerceptron()
+	f := func(outcomes []bool) bool {
+		st := p.Initial()
+		now := uint64(0)
+		for _, hit := range outcomes {
+			now += 37
+			p.OnResponse(&st, hit, now)
+			w := unpackW(st.Delay)
+			for _, wi := range w {
+				if wi > 63 || wi < -64 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerceptronLearnsToWaitAfterMisses(t *testing.T) {
+	p := NewPerceptron()
+	st := p.Initial()
+	now := uint64(1000)
+	// Train: pushing immediately keeps missing.
+	for i := 0; i < 20; i++ {
+		now += 40
+		p.OnResponse(&st, false, now)
+	}
+	// Give it an interval estimate via two hits.
+	p.OnResponse(&st, true, now+100)
+	p.OnResponse(&st, true, now+300)
+	st.Failed = true
+	tick := p.SendTick(&st, now+310)
+	if tick <= now+310 {
+		t.Fatalf("perceptron still pushes immediately after miss training (tick %d, now %d)", tick, now+310)
+	}
+}
+
+func TestProfiledPhases(t *testing.T) {
+	pr := NewProfiled()
+	st := pr.Initial()
+	now := uint64(100)
+	// Profiling phase: immediate pushes while learning interval 200.
+	for i := uint64(0); i < pr.ProfileFills; i++ {
+		if got := pr.SendTick(&st, now); got != now {
+			t.Fatalf("profiling SendTick = %d, want %d", got, now)
+		}
+		pr.OnResponse(&st, true, now)
+		now += 200
+	}
+	if st.Delay == 0 {
+		t.Fatal("profile did not lock a delay")
+	}
+	if st.Delay > 200 || st.Delay < 150 {
+		t.Fatalf("locked delay = %d, want ~175 (7/8 of 200)", st.Delay)
+	}
+	// Locked phase: scheduled relative to the last success.
+	tick := pr.SendTick(&st, st.Last+10)
+	if tick != st.Last+st.Delay {
+		t.Fatalf("locked SendTick = %d, want %d", tick, st.Last+st.Delay)
+	}
+}
+
+func TestProfiledReprofilesAfterMissBurst(t *testing.T) {
+	pr := NewProfiled()
+	st := pr.Initial()
+	now := uint64(100)
+	for i := uint64(0); i < pr.ProfileFills; i++ {
+		pr.OnResponse(&st, true, now)
+		now += 200
+	}
+	locked := st.Delay
+	if locked == 0 {
+		t.Fatal("no locked delay")
+	}
+	for i := uint64(0); i < pr.ReprofileMisses; i++ {
+		pr.OnResponse(&st, false, now)
+	}
+	if st.NFills != 0 || st.Delay != 0 {
+		t.Fatalf("state not reset after miss burst: %+v", st)
+	}
+}
+
+func TestProfiledHitResetsMissStreak(t *testing.T) {
+	pr := NewProfiled()
+	st := pr.Initial()
+	now := uint64(100)
+	for i := uint64(0); i < pr.ProfileFills; i++ {
+		pr.OnResponse(&st, true, now)
+		now += 200
+	}
+	for i := uint64(0); i < pr.ReprofileMisses-1; i++ {
+		pr.OnResponse(&st, false, now)
+	}
+	pr.OnResponse(&st, true, now+10) // break the streak
+	pr.OnResponse(&st, false, now+20)
+	if st.NFills == 0 {
+		t.Fatal("reprofiled despite broken miss streak")
+	}
+}
+
+func TestObfuscatedJitterBoundedAndKeyed(t *testing.T) {
+	base := ZeroDelay{}
+	o1 := Obfuscated{Inner: base, Key: 1, MaxJitter: 32}
+	o2 := Obfuscated{Inner: base, Key: 2, MaxJitter: 32}
+	st := o1.Initial()
+	differs := false
+	for now := uint64(0); now < 2000; now += 97 {
+		t1 := o1.SendTick(&st, now)
+		t2 := o2.SendTick(&st, now)
+		if t1 < now || t1 >= now+32 {
+			t.Fatalf("jitter out of bounds: %d at now %d", t1, now)
+		}
+		if t1 != t2 {
+			differs = true
+		}
+		// Deterministic per key.
+		if again := o1.SendTick(&st, now); again != t1 {
+			t.Fatalf("jitter not deterministic: %d vs %d", again, t1)
+		}
+	}
+	if !differs {
+		t.Fatal("different keys never produced different jitter")
+	}
+}
+
+func TestObfuscatedZeroJitterTransparent(t *testing.T) {
+	o := Obfuscated{Inner: Adaptive{}, MaxJitter: 0}
+	st := o.Initial()
+	if st.Delay != DefaultAdaptiveDelay {
+		t.Fatalf("Initial not delegated: %+v", st)
+	}
+	if got := o.SendTick(&st, 100); got != 100+DefaultAdaptiveDelay {
+		t.Fatalf("SendTick = %d", got)
+	}
+	if o.Name() != "adapt+obf" {
+		t.Fatalf("Name = %q", o.Name())
+	}
+}
+
+func TestExtendedAlgorithmsRegistered(t *testing.T) {
+	algs := ExtendedAlgorithms()
+	if len(algs) != 7 {
+		t.Fatalf("extended algorithms = %d", len(algs))
+	}
+	for _, name := range []string{"history", "perceptron", "profiled"} {
+		if _, ok := ByName(name); !ok {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+	}
+}
+
+// Property: every extended algorithm keeps SendTick at or after the
+// last successful push and within the global cap of now.
+func TestExtendedSendTickBounded(t *testing.T) {
+	algs := ExtendedAlgorithms()
+	f := func(outcomes []bool, gaps []uint8) bool {
+		for _, a := range algs {
+			st := a.Initial()
+			now := uint64(1)
+			for i, hit := range outcomes {
+				g := uint64(13)
+				if i < len(gaps) {
+					g = uint64(gaps[i]) + 1
+				}
+				now += g
+				tick := a.SendTick(&st, now)
+				if tick > now+2*config.DelayCapCycles {
+					return false
+				}
+				a.OnResponse(&st, hit, now)
+				if st.Last > now {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

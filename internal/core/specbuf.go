@@ -1,0 +1,224 @@
+// Package core implements the SPAMeR contribution on top of the
+// Virtual-Link routing device: the specBuf structure, the linkTabSpec
+// specHead chaining, the on-fly throttle, and the delay-prediction
+// algorithms of §3.5 (0-delay, adaptive, and the tuned algorithm of
+// Listing 1). Assembling a vl.Device with this extension yields the
+// SPAMeR Routing Device (SRD) of Figure 4.
+package core
+
+import (
+	"fmt"
+
+	"spamer/internal/config"
+	"spamer/internal/mem"
+	"spamer/internal/vl"
+)
+
+// SpecEntry is one specBuf row (Figure 4, red): a registered segment of
+// consumer lines the SRD may speculatively push to, plus the prediction
+// state the tuned algorithm latches per entry (Figure 6, yellow).
+type SpecEntry struct {
+	Valid bool
+	SQI   vl.SQI
+
+	// Base and Len describe the segment: Base + i*LineBytes for
+	// i in [0, Len).
+	Base mem.Addr
+	Len  int
+
+	// Offset counts successful pushes, rotating through the segment:
+	// "incrementing every time data is pushed to a consumer cacheline
+	// successfully … at which point it is set to zero" (§3.2).
+	Offset int
+
+	// Next chains entries of the same SQI into a loop; Stage 3 advances
+	// the SQI's specHead along it so "all the specBuf entry of a SQI
+	// form a loop and are used in turn".
+	Next int
+
+	// OnFly is the throttle bit of §3.5: while a push from this entry is
+	// in the speculative push queue, the entry stops giving targets.
+	OnFly bool
+
+	// Pred is the per-entry delay-prediction state.
+	Pred PredState
+}
+
+// PredState carries the delay-prediction registers. The adaptive
+// algorithm uses only Delay; the tuned algorithm uses every field
+// (specBuf.nfills/last/ddl/failed/delay of Figure 6).
+type PredState struct {
+	Delay  uint64 // current predicted delay (cycles)
+	Last   uint64 // timestamp of the last successful push
+	DDL    uint64 // deadline (duration from Last) before multiplicative growth
+	NFills uint64 // successful-push count
+	Failed bool   // whether the previous push missed
+}
+
+// SpecBuf is the speculative-target store plus the specHead column that
+// linkTabSpec adds to linkTab.
+type SpecBuf struct {
+	entries  []SpecEntry
+	free     []int
+	specHead map[vl.SQI]int // linkTabSpec.specHead
+	alg      DelayAlgorithm
+}
+
+// NewSpecBuf returns a specBuf with n entries (Table 1: 64) driven by the
+// given delay-prediction algorithm.
+func NewSpecBuf(n int, alg DelayAlgorithm) *SpecBuf {
+	if n <= 0 {
+		n = config.SRDEntries
+	}
+	b := &SpecBuf{
+		entries:  make([]SpecEntry, n),
+		specHead: make(map[vl.SQI]int),
+		alg:      alg,
+	}
+	for i := n - 1; i >= 0; i-- {
+		b.free = append(b.free, i)
+	}
+	return b
+}
+
+// Algorithm returns the installed delay-prediction algorithm.
+func (b *SpecBuf) Algorithm() DelayAlgorithm { return b.alg }
+
+// Register implements vl.SpecExtension: one spamer_register call creates
+// one specBuf entry covering n lines from base, linked into the SQI's
+// circular Next chain. The per-entry prediction state starts in the
+// algorithm's initial condition.
+func (b *SpecBuf) Register(sqi vl.SQI, base mem.Addr, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("core: register with %d lines", n)
+	}
+	if len(b.free) == 0 {
+		// §4.5: "if there is a situation where the workloads register
+		// more specBuf entries, the operating system needs to manage
+		// the specBuf as other limited resources".
+		return fmt.Errorf("core: specBuf exhausted (%d entries)", len(b.entries))
+	}
+	idx := b.free[len(b.free)-1]
+	b.free = b.free[:len(b.free)-1]
+	e := &b.entries[idx]
+	*e = SpecEntry{
+		Valid: true,
+		SQI:   sqi,
+		Base:  base,
+		Len:   n,
+		Pred:  b.alg.Initial(),
+	}
+	head, ok := b.specHead[sqi]
+	if !ok {
+		e.Next = idx // singleton loop
+		b.specHead[sqi] = idx
+		return nil
+	}
+	// Insert after the current head, keeping the loop closed.
+	e.Next = b.entries[head].Next
+	b.entries[head].Next = idx
+	return nil
+}
+
+// Unregister removes every entry of an SQI (endpoint teardown).
+func (b *SpecBuf) Unregister(sqi vl.SQI) {
+	head, ok := b.specHead[sqi]
+	if !ok {
+		return
+	}
+	idx := head
+	for {
+		next := b.entries[idx].Next
+		b.entries[idx] = SpecEntry{Next: 0}
+		b.free = append(b.free, idx)
+		if next == head {
+			break
+		}
+		idx = next
+	}
+	delete(b.specHead, sqi)
+}
+
+// SelectTarget implements vl.SpecExtension: walk the SQI's entry loop
+// from specHead, skipping on-fly entries, pick the first available one,
+// derive specTgt = base + offset*lineBytes, consult the delay algorithm
+// for the send tick, set on-fly, and advance specHead along Next — the
+// Stage-3 write-back of §3.2.
+func (b *SpecBuf) SelectTarget(sqi vl.SQI, now uint64) (addr mem.Addr, cookie int, sendTick uint64, ok bool) {
+	head, exists := b.specHead[sqi]
+	if !exists {
+		return 0, 0, 0, false
+	}
+	idx := head
+	for {
+		e := &b.entries[idx]
+		if e.Valid && !e.OnFly {
+			addr = e.Base + mem.Addr(e.Offset*config.LineBytes)
+			sendTick = b.alg.SendTick(&e.Pred, now)
+			if cap := now + config.DelayCapCycles; sendTick > cap {
+				sendTick = cap
+			}
+			e.OnFly = true
+			b.specHead[sqi] = e.Next
+			return addr, idx, sendTick, true
+		}
+		idx = e.Next
+		if idx == head {
+			return 0, 0, 0, false
+		}
+	}
+}
+
+// OnResult implements vl.SpecExtension: clear the on-fly throttle, rotate
+// Offset on success, and feed the outcome to the delay algorithm.
+func (b *SpecBuf) OnResult(cookie int, hit bool, now uint64) {
+	e := &b.entries[cookie]
+	if !e.Valid {
+		return // unregistered while in flight
+	}
+	e.OnFly = false
+	if hit {
+		e.Offset++
+		if e.Offset >= e.Len {
+			e.Offset = 0
+		}
+	}
+	b.alg.OnResponse(&e.Pred, hit, now)
+}
+
+// Entries returns the number of valid entries (for tests/diagnostics).
+func (b *SpecBuf) Entries() int {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeEntries reports the remaining capacity.
+func (b *SpecBuf) FreeEntries() int { return len(b.free) }
+
+// EntriesOf returns the entry indices of an SQI in loop order starting at
+// the current specHead. Intended for tests.
+func (b *SpecBuf) EntriesOf(sqi vl.SQI) []int {
+	head, ok := b.specHead[sqi]
+	if !ok {
+		return nil
+	}
+	var out []int
+	idx := head
+	for {
+		out = append(out, idx)
+		idx = b.entries[idx].Next
+		if idx == head {
+			return out
+		}
+	}
+}
+
+// Entry returns a copy of entry i for inspection.
+func (b *SpecBuf) Entry(i int) SpecEntry { return b.entries[i] }
+
+var _ vl.SpecExtension = (*SpecBuf)(nil)

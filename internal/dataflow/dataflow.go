@@ -1,0 +1,255 @@
+// Package dataflow is a small streaming-graph runtime on top of the
+// spamer queue API — the application class the paper's introduction
+// motivates ("such machines often adopt a dataflow, streaming,
+// communicating sequential process, or systolic array-like computation
+// patterns", §1, citing frameworks like RaftLib).
+//
+// A Graph is a DAG of operators connected by hardware message queues.
+// Operators may be replicated (parallel workers share the input queue
+// as an M:N channel) and may emit zero or more messages per input
+// (filter/flat-map). Termination propagates through the graph without
+// poison pills: an edge is exhausted when all upstream workers have
+// finished and every accepted message has been popped, which the
+// runtime detects with the queue's own counters.
+package dataflow
+
+import (
+	"fmt"
+
+	"spamer"
+	"spamer/internal/sim"
+)
+
+// Emit sends a value to one of the operator's output ports.
+type Emit func(port int, value uint64)
+
+// SourceFn generates the i-th value of a source.
+type SourceFn func(i int) uint64
+
+// OpFn processes one input value, emitting any number of outputs.
+type OpFn func(value uint64, emit Emit)
+
+// SinkFn consumes one terminal value.
+type SinkFn func(value uint64)
+
+// Graph is a dataflow program bound to a System. Build it with Source,
+// Op and Sink, wire it with Connect, then call Run exactly once.
+type Graph struct {
+	sys   *spamer.System
+	nodes []*Node
+	edges []*edge
+	ran   bool
+}
+
+// Node is one operator.
+type Node struct {
+	g        *Graph
+	id       int
+	name     string
+	parallel int
+	work     uint64 // cycles of compute per message
+
+	kind   nodeKind
+	src    SourceFn
+	srcN   int
+	op     OpFn
+	sink   SinkFn
+	inEdge *edge
+	outs   []*edge
+
+	remaining int // live replicas
+	processed uint64
+	emitted   uint64
+}
+
+type nodeKind uint8
+
+const (
+	kindSource nodeKind = iota
+	kindOp
+	kindSink
+)
+
+// edge is one queue between operators plus the termination bookkeeping.
+type edge struct {
+	q     *spamer.Queue
+	to    *Node
+	lines int
+
+	// fromCount is the number of upstream nodes feeding the edge;
+	// finished counts those that have completed all replicas.
+	fromCount int
+	finished  int
+
+	upstreamDone bool
+	done         *sim.Signal
+}
+
+// New returns an empty graph on the given system.
+func New(sys *spamer.System) *Graph { return &Graph{sys: sys} }
+
+// Source adds a generator producing n values with the given per-value
+// compute cost.
+func (g *Graph) Source(name string, n int, work uint64, fn SourceFn) *Node {
+	return g.add(&Node{name: name, parallel: 1, work: work, kind: kindSource, src: fn, srcN: n})
+}
+
+// Op adds a transform with `parallel` worker replicas.
+func (g *Graph) Op(name string, parallel int, work uint64, fn OpFn) *Node {
+	if parallel <= 0 {
+		parallel = 1
+	}
+	return g.add(&Node{name: name, parallel: parallel, work: work, kind: kindOp, op: fn})
+}
+
+// Sink adds a terminal consumer.
+func (g *Graph) Sink(name string, work uint64, fn SinkFn) *Node {
+	return g.add(&Node{name: name, parallel: 1, work: work, kind: kindSink, sink: fn})
+}
+
+func (g *Graph) add(n *Node) *Node {
+	n.g = g
+	n.id = len(g.nodes)
+	n.remaining = n.parallel
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Connect wires from's next output port to to's input with an endpoint
+// buffer of `lines` cache lines per consumer replica. A node has exactly
+// one input edge (fan-in is expressed by connecting several nodes to the
+// same downstream node, forming an M:N queue).
+func (g *Graph) Connect(from, to *Node, lines int) {
+	if from.kind == kindSink {
+		panic(fmt.Sprintf("dataflow: %s is a sink and cannot have outputs", from.name))
+	}
+	if to.kind == kindSource {
+		panic(fmt.Sprintf("dataflow: %s is a source and cannot have inputs", to.name))
+	}
+	if to.id <= from.id {
+		panic(fmt.Sprintf("dataflow: edge %s->%s violates topological order (cycles unsupported)", from.name, to.name))
+	}
+	if lines <= 0 {
+		lines = 2
+	}
+	// Fan-in: reuse the downstream node's input edge so several
+	// upstream nodes form one M:N queue.
+	var e *edge
+	if to.inEdge != nil {
+		e = to.inEdge
+	} else {
+		e = &edge{
+			q:     g.sys.NewQueue(fmt.Sprintf("df.%s->%s", from.name, to.name)),
+			to:    to,
+			lines: lines,
+			done:  sim.NewSignal(fmt.Sprintf("df.%s.done", to.name)),
+		}
+		to.inEdge = e
+		g.edges = append(g.edges, e)
+	}
+	e.fromCount++
+	from.outs = append(from.outs, e)
+}
+
+// exhausted reports whether no further message can arrive on e.
+func (e *edge) exhausted() bool {
+	return e.upstreamDone && e.q.Popped() == e.q.Pushed()
+}
+
+// producerFinished is called once per upstream node completion; when all
+// producers of the edge finished, downstream consumers may drain out.
+func (e *edge) producerFinished() {
+	e.finished++
+	if e.finished >= e.fromCount {
+		e.upstreamDone = true
+		e.done.Fire()
+	}
+}
+
+// Run spawns every operator and drives the system to completion,
+// returning the system-level result. Each worker replica runs as one
+// thread; emissions use a per-worker producer endpoint on each output
+// edge, and replicated operators share their input queue dynamically.
+func (g *Graph) Run() spamer.Result {
+	if g.ran {
+		panic("dataflow: Run called twice")
+	}
+	g.ran = true
+	for _, n := range g.nodes {
+		n := n
+		if n.kind != kindSource && n.inEdge == nil {
+			panic(fmt.Sprintf("dataflow: node %s has no input", n.name))
+		}
+		if n.kind == kindSink && len(n.outs) != 0 {
+			panic(fmt.Sprintf("dataflow: sink %s has outputs", n.name))
+		}
+		for w := 0; w < n.parallel; w++ {
+			g.sys.Spawn(fmt.Sprintf("df/%s.%d", n.name, w), func(t *spamer.Thread) {
+				n.runWorker(t)
+			})
+		}
+	}
+	return g.sys.Run()
+}
+
+func (n *Node) runWorker(t *spamer.Thread) {
+	// Per-worker producer endpoints for every output edge.
+	producers := make([]*spamer.Producer, len(n.outs))
+	for i, e := range n.outs {
+		producers[i] = e.q.NewProducer(0)
+	}
+	emit := func(port int, v uint64) {
+		if port < 0 || port >= len(producers) {
+			panic(fmt.Sprintf("dataflow: %s emits to port %d of %d", n.name, port, len(producers)))
+		}
+		producers[port].Push(t.Proc, v)
+		n.emitted++
+	}
+
+	switch n.kind {
+	case kindSource:
+		for i := 0; i < n.srcN; i++ {
+			t.Compute(n.work)
+			emit(0, n.src(i))
+			n.processed++
+		}
+	case kindOp, kindSink:
+		rx := n.inEdge.q.NewConsumer(t.Proc, n.inEdge.lines)
+		for {
+			m, ok := rx.PopOrDone(t.Proc, n.inEdge.done, n.inEdge.exhausted)
+			if !ok {
+				break
+			}
+			t.Compute(n.work)
+			n.processed++
+			if n.kind == kindSink {
+				n.sink(m.Payload)
+			} else {
+				n.op(m.Payload, emit)
+			}
+			// The pop may have been the edge's last message: release
+			// replicas still parked on the input.
+			if n.inEdge.exhausted() {
+				n.inEdge.done.Fire()
+			}
+		}
+	}
+
+	// Last replica out propagates completion downstream.
+	n.remaining--
+	if n.remaining == 0 {
+		for _, e := range n.outs {
+			e.producerFinished()
+		}
+	}
+}
+
+// Processed reports how many messages the node consumed (or generated,
+// for sources).
+func (n *Node) Processed() uint64 { return n.processed }
+
+// Emitted reports how many messages the node pushed downstream.
+func (n *Node) Emitted() uint64 { return n.emitted }
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }

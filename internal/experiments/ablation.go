@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spamer"
+	"spamer/internal/core"
+	"spamer/internal/vl"
+	"spamer/internal/workloads"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out, beyond
+// the paper's own figures: the wider predictor space §3.5 sketches, the
+// sensitivity to SRD sizing, interconnect topology (hop latency and
+// channel count — the paper explicitly defers topology), and the cost
+// of the §3.6 obfuscation mitigation.
+
+// PredictorRow is one benchmark's speedups across every implemented
+// delay algorithm (paper trio + extensions).
+type PredictorRow struct {
+	Benchmark string
+	Speedups  map[string]float64 // algorithm name -> speedup over VL
+}
+
+// PredictorStudy runs every extended algorithm on every benchmark.
+func PredictorStudy(scale int) []PredictorRow {
+	var rows []PredictorRow
+	for _, w := range workloads.All() {
+		base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, Deadline: 1 << 40}, scale)
+		row := PredictorRow{Benchmark: w.Name, Speedups: map[string]float64{}}
+		for _, alg := range core.ExtendedAlgorithms() {
+			res := w.Run(spamer.Config{Algorithm: "custom", CustomAlgorithm: alg, Deadline: 1 << 40}, scale)
+			row.Speedups[alg.Name()] = res.Speedup(base)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PredictorNames returns the column order for PredictorStudy output.
+func PredictorNames() []string {
+	var out []string
+	for _, a := range core.ExtendedAlgorithms() {
+		out = append(out, a.Name())
+	}
+	return out
+}
+
+// SweepPoint is one (x, value) sample of a sensitivity sweep.
+type SweepPoint struct {
+	X       int
+	Ticks   uint64
+	Speedup float64 // over the VL baseline at the same x
+}
+
+// SRDEntriesSweep varies the routing-device structure sizes on a
+// benchmark, with the tuned algorithm (firewall by default exercises
+// backpressure at small sizes; halo needs >= 48 linkTab rows).
+func SRDEntriesSweep(bench string, sizes []int, scale int) ([]SweepPoint, error) {
+	w, ok := workloads.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+	}
+	var out []SweepPoint
+	for _, n := range sizes {
+		cfg := vl.Config{ProdEntries: n, ConsEntries: n, LinkEntries: maxInt(n, 64)}
+		base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, SRD: cfg, Deadline: 1 << 40}, scale)
+		res := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, SRD: cfg, Deadline: 1 << 40}, scale)
+		out = append(out, SweepPoint{X: n, Ticks: res.Ticks, Speedup: res.Speedup(base)})
+	}
+	return out, nil
+}
+
+// HopLatencySweep varies the one-way core<->device hop latency — the
+// topology dimension the paper defers ("the impact of topology ... are
+// not the focus of this paper").
+func HopLatencySweep(bench string, hops []uint64, scale int) ([]SweepPoint, error) {
+	w, ok := workloads.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+	}
+	var out []SweepPoint
+	for _, h := range hops {
+		base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, HopLatency: h, Deadline: 1 << 40}, scale)
+		res := w.Run(spamer.Config{Algorithm: spamer.AlgZeroDelay, HopLatency: h, Deadline: 1 << 40}, scale)
+		out = append(out, SweepPoint{X: int(h), Ticks: res.Ticks, Speedup: res.Speedup(base)})
+	}
+	return out, nil
+}
+
+// BusChannelsSweep varies the interconnect parallelism.
+func BusChannelsSweep(bench string, channels []int, scale int) ([]SweepPoint, error) {
+	w, ok := workloads.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+	}
+	var out []SweepPoint
+	for _, c := range channels {
+		base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, BusChannels: c, Deadline: 1 << 40}, scale)
+		res := w.Run(spamer.Config{Algorithm: spamer.AlgZeroDelay, BusChannels: c, Deadline: 1 << 40}, scale)
+		out = append(out, SweepPoint{X: c, Ticks: res.Ticks, Speedup: res.Speedup(base)})
+	}
+	return out, nil
+}
+
+// DevicesSweep varies the number of routing devices — the multi-router
+// arrangement §3.1 mentions but does not evaluate. Queues distribute
+// round-robin, relieving per-device mapping-pipeline and send-port
+// contention on many-queue workloads.
+func DevicesSweep(bench string, devices []int, scale int) ([]SweepPoint, error) {
+	w, ok := workloads.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+	}
+	var out []SweepPoint
+	for _, d := range devices {
+		base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, Devices: d, Deadline: 1 << 40}, scale)
+		res := w.Run(spamer.Config{Algorithm: spamer.AlgZeroDelay, Devices: d, Deadline: 1 << 40}, scale)
+		out = append(out, SweepPoint{X: d, Ticks: res.Ticks, Speedup: res.Speedup(base)})
+	}
+	return out, nil
+}
+
+// ObfuscationRow compares a benchmark's tuned run with and without the
+// §3.6 timing-obfuscation wrapper at a given jitter bound.
+type ObfuscationRow struct {
+	Benchmark string
+	Jitter    uint64
+	Plain     uint64  // ticks without obfuscation
+	Obf       uint64  // ticks with obfuscation
+	Overhead  float64 // Obf/Plain - 1
+}
+
+// ObfuscationStudy measures the performance cost of the side-channel
+// mitigation across benchmarks.
+func ObfuscationStudy(jitter uint64, scale int) []ObfuscationRow {
+	var rows []ObfuscationRow
+	for _, w := range workloads.All() {
+		plain := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 40}, scale)
+		obf := w.Run(spamer.Config{
+			Algorithm:       "custom",
+			CustomAlgorithm: core.Obfuscated{Inner: core.NewTuned(), Key: 0x5eed, MaxJitter: jitter},
+			Deadline:        1 << 40,
+		}, scale)
+		rows = append(rows, ObfuscationRow{
+			Benchmark: w.Name,
+			Jitter:    jitter,
+			Plain:     plain.Ticks,
+			Obf:       obf.Ticks,
+			Overhead:  float64(obf.Ticks)/float64(plain.Ticks) - 1,
+		})
+	}
+	return rows
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

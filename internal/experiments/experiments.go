@@ -1,0 +1,321 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section from the simulator. Each experiment returns plain
+// data; cmd/* renders it with internal/report, and the root bench suite
+// wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spamer"
+	"spamer/internal/config"
+	"spamer/internal/core"
+	"spamer/internal/energy"
+	"spamer/internal/swqueue"
+	"spamer/internal/trace"
+	"spamer/internal/workloads"
+)
+
+// Matrix holds one result per (benchmark, configuration) — the common
+// input of Figures 8, 9 and 10.
+type Matrix struct {
+	Benchmarks []string
+	Configs    []string
+	Results    map[string]map[string]spamer.Result
+}
+
+// RunMatrix executes every benchmark under every configuration.
+func RunMatrix(scale int) *Matrix {
+	m := &Matrix{
+		Benchmarks: workloads.Names(),
+		Configs:    spamer.Configs(),
+		Results:    map[string]map[string]spamer.Result{},
+	}
+	for _, w := range workloads.All() {
+		m.Results[w.Name] = map[string]spamer.Result{}
+		for _, alg := range m.Configs {
+			m.Results[w.Name][alg] = w.Run(spamer.Config{Algorithm: alg, Deadline: 1 << 40}, scale)
+		}
+	}
+	return m
+}
+
+// Speedup returns benchmark b's speedup of alg over the VL baseline.
+func (m *Matrix) Speedup(b, alg string) float64 {
+	return m.Results[b][alg].Speedup(m.Results[b][spamer.AlgBaseline])
+}
+
+// Geomean returns the geometric-mean speedup of alg across benchmarks.
+func (m *Matrix) Geomean(alg string) float64 {
+	sum := 0.0
+	for _, b := range m.Benchmarks {
+		sum += math.Log(m.Speedup(b, alg))
+	}
+	return math.Exp(sum / float64(len(m.Benchmarks)))
+}
+
+// ---------------------------------------------------------------------
+// Tables 1 and 2.
+// ---------------------------------------------------------------------
+
+// Table1Rows returns the simulated hardware configuration.
+func Table1Rows() [][]string {
+	rows := [][]string{{"Component", "Configuration"}}
+	for _, kv := range config.Table1() {
+		rows = append(rows, []string{kv[0], kv[1]})
+	}
+	return rows
+}
+
+// Table2Rows returns the benchmark descriptions and queue shapes.
+func Table2Rows() [][]string {
+	rows := [][]string{{"Benchmark", "Description", "(M:N)xk", "Threads"}}
+	for _, w := range workloads.All() {
+		rows = append(rows, []string{w.Name, w.Desc, w.QueueSpec, fmt.Sprint(w.Threads)})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: latency comparison.
+// ---------------------------------------------------------------------
+
+// Figure1 runs the latency micro-experiment.
+func Figure1() swqueue.Figure1Result { return swqueue.RunFigure1() }
+
+// ---------------------------------------------------------------------
+// Figure 7: message-queue transaction trace.
+// ---------------------------------------------------------------------
+
+// Figure7 runs the tracing experiment for a given algorithm.
+func Figure7(alg string) (*trace.Tracer, trace.Summary, spamer.Result) {
+	tr, res := trace.RunFigure7(trace.DefaultFigure7(alg))
+	return tr, trace.Summarize(tr.Transactions()), res
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: speedup over Virtual-Link.
+// ---------------------------------------------------------------------
+
+// Figure8Row is one benchmark's line of the speedup chart.
+type Figure8Row struct {
+	Benchmark  string
+	BaselineMS float64
+	Speedups   map[string]float64 // per SPAMeR algorithm
+}
+
+// Figure8 derives the speedup rows (and paper reference geomeans:
+// 1.45/1.25/1.33 for 0delay/adapt/tuned).
+func Figure8(m *Matrix) []Figure8Row {
+	var rows []Figure8Row
+	for _, b := range m.Benchmarks {
+		row := Figure8Row{
+			Benchmark:  b,
+			BaselineMS: m.Results[b][spamer.AlgBaseline].MS,
+			Speedups:   map[string]float64{},
+		}
+		for _, alg := range m.Configs[1:] {
+			row.Speedups[alg] = m.Speedup(b, alg)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: execution-time breakdown (consumer-line empty vs non-empty).
+// ---------------------------------------------------------------------
+
+// Figure9Cell is the per-(benchmark, config) breakdown in millions of
+// cycles, averaged per consumer line as in the paper.
+type Figure9Cell struct {
+	EmptyM    float64
+	NonEmptyM float64
+}
+
+// Figure9 derives the breakdown cells.
+func Figure9(m *Matrix) map[string]map[string]Figure9Cell {
+	out := map[string]map[string]Figure9Cell{}
+	for _, b := range m.Benchmarks {
+		out[b] = map[string]Figure9Cell{}
+		for _, alg := range m.Configs {
+			r := m.Results[b][alg]
+			out[b][alg] = Figure9Cell{
+				EmptyM:    r.AvgEmptyTicks / 1e6,
+				NonEmptyM: r.AvgNonEmptyTicks / 1e6,
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: push failure rates and bus utilization.
+// ---------------------------------------------------------------------
+
+// Figure10Cell carries both 10a and 10b metrics.
+type Figure10Cell struct {
+	FailureRate    float64
+	BusUtilization float64
+}
+
+// Figure10 derives the failure-rate and bus-utilization cells.
+func Figure10(m *Matrix) map[string]map[string]Figure10Cell {
+	out := map[string]map[string]Figure10Cell{}
+	for _, b := range m.Benchmarks {
+		out[b] = map[string]Figure10Cell{}
+		for _, alg := range m.Configs {
+			r := m.Results[b][alg]
+			out[b][alg] = Figure10Cell{
+				FailureRate:    r.FailureRate(),
+				BusUtilization: r.BusUtilization,
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: sensitivity of the tuned parameters (delay vs energy).
+// ---------------------------------------------------------------------
+
+// Figure11Point is one marker of a Figure 11 panel.
+type Figure11Point struct {
+	Label      string
+	Params     config.TunedParams // zero for the named algorithms
+	DelayNorm  float64
+	EnergyNorm float64
+}
+
+// Figure11Grid returns the tuned-parameter combinations swept in
+// addition to the named algorithms: variations of each parameter around
+// the paper's chosen set (ζ=256, τ=96, δ=64, α=1, β=2).
+func Figure11Grid() []config.TunedParams {
+	base := config.DefaultTuned()
+	var grid []config.TunedParams
+	add := func(p config.TunedParams) {
+		for _, g := range grid {
+			if g == p {
+				return
+			}
+		}
+		grid = append(grid, p)
+	}
+	for _, zeta := range []uint64{128, 256, 512} {
+		p := base
+		p.Zeta = zeta
+		add(p)
+	}
+	for _, tau := range []uint64{48, 96, 192} {
+		p := base
+		p.Tau = tau
+		add(p)
+	}
+	for _, delta := range []uint64{16, 64, 128} {
+		p := base
+		p.Delta = delta
+		add(p)
+	}
+	for _, alpha := range []uint64{1, 2} {
+		p := base
+		p.Alpha = alpha
+		add(p)
+	}
+	for _, beta := range []uint64{2, 4} {
+		p := base
+		p.Beta = beta
+		add(p)
+	}
+	sort.SliceStable(grid, func(i, j int) bool { return grid[i].String() < grid[j].String() })
+	return grid
+}
+
+// Figure11 sweeps one benchmark: baseline, the three named algorithms,
+// and the tuned-parameter grid, returning normalized (delay, energy)
+// points. The baseline is the (1, 1) reference.
+func Figure11(benchName string, scale int) ([]Figure11Point, error) {
+	w, ok := workloads.ByName(benchName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", benchName)
+	}
+	base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, Deadline: 1 << 40}, scale)
+	points := []Figure11Point{{Label: "VL(baseline)", DelayNorm: 1, EnergyNorm: 1}}
+	for _, alg := range []string{spamer.AlgZeroDelay, spamer.AlgAdaptive, spamer.AlgTuned} {
+		res := w.Run(spamer.Config{Algorithm: alg, Deadline: 1 << 40}, scale)
+		points = append(points, Figure11Point{
+			Label:      "SPAMeR(" + alg + ")",
+			DelayNorm:  energy.DelayNorm(res, base),
+			EnergyNorm: energy.EnergyNorm(res, base),
+		})
+	}
+	for _, p := range Figure11Grid() {
+		if p == config.DefaultTuned() {
+			continue // already covered by the named tuned point
+		}
+		res := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, Tuned: p, Deadline: 1 << 40}, scale)
+		points = append(points, Figure11Point{
+			Label:      "tuned{" + p.String() + "}",
+			Params:     p,
+			DelayNorm:  energy.DelayNorm(res, base),
+			EnergyNorm: energy.EnergyNorm(res, base),
+		})
+	}
+	return points, nil
+}
+
+// ---------------------------------------------------------------------
+// §4.3 inlining study and §4.5 area/power.
+// ---------------------------------------------------------------------
+
+// InlineStudy measures the library-inlining speedup per benchmark
+// (paper: 1.02x average) on the VL baseline.
+type InlineStudyRow struct {
+	Benchmark string
+	Speedup   float64
+}
+
+// InlineStudy runs every benchmark with and without inlined queue
+// functions.
+func InlineStudy(scale int) []InlineStudyRow {
+	var rows []InlineStudyRow
+	for _, w := range workloads.All() {
+		called := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, NoInline: true, Deadline: 1 << 40}, scale)
+		inlined := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, Deadline: 1 << 40}, scale)
+		rows = append(rows, InlineStudyRow{Benchmark: w.Name, Speedup: inlined.Speedup(called)})
+	}
+	return rows
+}
+
+// AreaPower bundles the §4.5 estimates for a measured matrix: the area
+// report plus per-algorithm worst-case power across benchmarks.
+type AreaPower struct {
+	Area       energy.AreaReport
+	PowerByAlg map[string]energy.PowerReport
+}
+
+// Section45 computes the area/power summary from a matrix.
+func Section45(m *Matrix) AreaPower {
+	ap := AreaPower{Area: energy.Area(0), PowerByAlg: map[string]energy.PowerReport{}}
+	for _, alg := range m.Configs[1:] {
+		worst := 1.0
+		for _, b := range m.Benchmarks {
+			f := energy.PushFactor(m.Results[b][alg], m.Results[b][spamer.AlgBaseline])
+			if f > worst {
+				worst = f
+			}
+		}
+		ap.PowerByAlg[alg] = energy.Power(worst)
+	}
+	return ap
+}
+
+// AlgorithmsLegend names the delay algorithms for display.
+func AlgorithmsLegend() []string {
+	out := []string{}
+	for _, a := range core.Algorithms() {
+		out = append(out, a.Name())
+	}
+	return out
+}

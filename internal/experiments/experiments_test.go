@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"testing"
+
+	"spamer"
+	"spamer/internal/config"
+)
+
+func TestTableRows(t *testing.T) {
+	if rows := Table1Rows(); len(rows) != 5 {
+		t.Fatalf("Table1Rows = %d", len(rows))
+	}
+	rows := Table2Rows()
+	if len(rows) != 9 {
+		t.Fatalf("Table2Rows = %d", len(rows))
+	}
+	if rows[0][0] != "Benchmark" {
+		t.Fatalf("header = %v", rows[0])
+	}
+}
+
+func TestFigure11GridShape(t *testing.T) {
+	grid := Figure11Grid()
+	if len(grid) < 9 {
+		t.Fatalf("grid size = %d", len(grid))
+	}
+	seen := map[config.TunedParams]bool{}
+	foundDefault := false
+	for _, p := range grid {
+		if seen[p] {
+			t.Fatalf("duplicate grid point %v", p)
+		}
+		seen[p] = true
+		if p == config.DefaultTuned() {
+			foundDefault = true
+		}
+	}
+	if !foundDefault {
+		t.Fatal("grid omits the paper's chosen parameter set")
+	}
+}
+
+func TestFigure11UnknownBenchmark(t *testing.T) {
+	if _, err := Figure11("nope", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// TestMatrixDerivations runs a reduced matrix and checks the derived
+// figures are internally consistent.
+func TestMatrixDerivations(t *testing.T) {
+	m := RunMatrix(1)
+	if len(m.Benchmarks) != 8 {
+		t.Fatalf("benchmarks = %d", len(m.Benchmarks))
+	}
+	rows := Figure8(m)
+	if len(rows) != 8 {
+		t.Fatalf("fig8 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for alg, sp := range r.Speedups {
+			if sp <= 0 {
+				t.Fatalf("%s/%s speedup = %v", r.Benchmark, alg, sp)
+			}
+		}
+	}
+	f9 := Figure9(m)
+	f10 := Figure10(m)
+	for _, b := range m.Benchmarks {
+		for _, alg := range m.Configs {
+			c9 := f9[b][alg]
+			if c9.EmptyM < 0 || c9.NonEmptyM < 0 {
+				t.Fatalf("fig9 %s/%s: %+v", b, alg, c9)
+			}
+			c10 := f10[b][alg]
+			if c10.FailureRate < 0 || c10.FailureRate > 1 {
+				t.Fatalf("fig10 %s/%s failure = %v", b, alg, c10.FailureRate)
+			}
+			if c10.BusUtilization < 0 || c10.BusUtilization > 1 {
+				t.Fatalf("fig10 %s/%s bus = %v", b, alg, c10.BusUtilization)
+			}
+		}
+	}
+	for _, alg := range m.Configs[1:] {
+		if g := m.Geomean(alg); g < 1.0 {
+			t.Fatalf("geomean %s = %v", alg, g)
+		}
+	}
+	ap := Section45(m)
+	for alg, p := range ap.PowerByAlg {
+		if p.TotalMW <= 0 {
+			t.Fatalf("power %s = %+v", alg, p)
+		}
+	}
+	if !ap.Area.UnderOnePctSoC {
+		t.Fatal("area share exceeds 1% of SoC")
+	}
+}
+
+// TestInlineStudyPositive: inlining helps at least slightly on every
+// benchmark (the §4.3 1.02x result).
+func TestInlineStudyPositive(t *testing.T) {
+	rows := InlineStudy(1)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup < 0.99 {
+			t.Errorf("%s: inline speedup %.3f < 0.99", r.Benchmark, r.Speedup)
+		}
+		if r.Speedup > 1.25 {
+			t.Errorf("%s: inline speedup %.3f implausibly high", r.Benchmark, r.Speedup)
+		}
+	}
+}
+
+func TestFigure7BothModes(t *testing.T) {
+	_, sumVL, resVL := Figure7(spamer.AlgBaseline)
+	if sumVL.OnDemand == 0 || resVL.Pushed != resVL.Popped {
+		t.Fatalf("VL: %+v", sumVL)
+	}
+	_, sumSp, _ := Figure7(spamer.AlgTuned)
+	if sumSp.Speculative == 0 {
+		t.Fatalf("tuned: %+v", sumSp)
+	}
+}
+
+func TestAlgorithmsLegend(t *testing.T) {
+	if got := AlgorithmsLegend(); len(got) != 3 || got[0] != "0delay" {
+		t.Fatalf("legend = %v", got)
+	}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSpecs hardens the JSON spec parser against malformed input:
+// it must either return an error or specs that survive Validate without
+// panicking.
+func FuzzReadSpecs(f *testing.F) {
+	f.Add(`{"benchmark":"FIR"}`)
+	f.Add(`[{"benchmark":"halo","algorithms":["vl"]},{"benchmark":"FIR"}]`)
+	f.Add(`{"benchmark":"FIR","tuned":{"zeta":1,"tau":2,"delta":3,"alpha":4,"beta":5}}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`{"benchmark":"FIR","scale":-3}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		specs, err := ReadSpecs(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := range specs {
+			_ = specs[i].Validate() // must not panic
+		}
+	})
+}

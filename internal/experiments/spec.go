@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"spamer"
+	"spamer/internal/config"
+	"spamer/internal/vl"
+	"spamer/internal/workloads"
+)
+
+// Spec is a machine-readable experiment description: which benchmark to
+// run under which configuration(s), with optional hardware overrides.
+// cmd/spamer-run consumes these as JSON, making reproduction scriptable:
+//
+//	{
+//	  "benchmark": "FIR",
+//	  "algorithms": ["vl", "0delay", "tuned"],
+//	  "scale": 1,
+//	  "hop_latency": 24,
+//	  "tuned": {"zeta": 512, "tau": 96, "delta": 64, "alpha": 1, "beta": 2}
+//	}
+type Spec struct {
+	Benchmark  string      `json:"benchmark"`
+	Algorithms []string    `json:"algorithms,omitempty"` // default: all four
+	Scale      int         `json:"scale,omitempty"`
+	HopLatency uint64      `json:"hop_latency,omitempty"`
+	Channels   int         `json:"bus_channels,omitempty"`
+	Devices    int         `json:"devices,omitempty"`
+	NoInline   bool        `json:"no_inline,omitempty"`
+	SRDEntries int         `json:"srd_entries,omitempty"`
+	Tuned      *TunedSpec  `json:"tuned,omitempty"`
+	Repeat     int         `json:"repeat,omitempty"` // determinism check
+	Label      string      `json:"label,omitempty"`
+	Extensions *Extensions `json:"extensions,omitempty"`
+}
+
+// TunedSpec is the JSON form of config.TunedParams.
+type TunedSpec struct {
+	Zeta  uint64 `json:"zeta"`
+	Tau   uint64 `json:"tau"`
+	Delta uint64 `json:"delta"`
+	Alpha uint64 `json:"alpha"`
+	Beta  uint64 `json:"beta"`
+}
+
+// Extensions toggles non-paper features.
+type Extensions struct {
+	// AllowExtendedWorkloads lets Benchmark name allreduce/alltoall/
+	// reduce in addition to the Table 2 suite.
+	AllowExtendedWorkloads bool `json:"allow_extended_workloads,omitempty"`
+}
+
+// Outcome is the machine-readable result of one (benchmark, algorithm)
+// run.
+type Outcome struct {
+	Label          string  `json:"label,omitempty"`
+	Benchmark      string  `json:"benchmark"`
+	Algorithm      string  `json:"algorithm"`
+	Ticks          uint64  `json:"ticks"`
+	Milliseconds   float64 `json:"ms"`
+	Messages       uint64  `json:"messages"`
+	SpeedupOverVL  float64 `json:"speedup_over_vl,omitempty"`
+	FailureRate    float64 `json:"failure_rate"`
+	BusUtilization float64 `json:"bus_utilization"`
+	PushesIssued   uint64  `json:"pushes_issued"`
+	Fetches        uint64  `json:"fetches"`
+	Deterministic  *bool   `json:"deterministic,omitempty"` // set when Repeat > 1
+}
+
+// Validate checks a spec before running.
+func (s *Spec) Validate() error {
+	if s.Benchmark == "" {
+		return fmt.Errorf("experiments: spec missing benchmark")
+	}
+	if _, ok := s.workload(); !ok {
+		return fmt.Errorf("experiments: unknown benchmark %q", s.Benchmark)
+	}
+	for _, a := range s.Algorithms {
+		if !validAlg(a) {
+			return fmt.Errorf("experiments: unknown algorithm %q", a)
+		}
+	}
+	if s.Scale < 0 || s.Repeat < 0 {
+		return fmt.Errorf("experiments: negative scale/repeat")
+	}
+	return nil
+}
+
+func validAlg(a string) bool {
+	switch a {
+	case spamer.AlgBaseline, spamer.AlgZeroDelay, spamer.AlgAdaptive, spamer.AlgTuned,
+		"history", "perceptron", "profiled", "dyntuned":
+		return true
+	}
+	return false
+}
+
+func (s *Spec) workload() (*workloads.Workload, bool) {
+	if w, ok := workloads.ByName(s.Benchmark); ok {
+		return w, true
+	}
+	if s.Extensions != nil && s.Extensions.AllowExtendedWorkloads {
+		return workloads.ExtendedByName(s.Benchmark)
+	}
+	return nil, false
+}
+
+func (s *Spec) systemConfig(alg string) spamer.Config {
+	cfg := spamer.Config{
+		Algorithm:   alg,
+		HopLatency:  s.HopLatency,
+		BusChannels: s.Channels,
+		Devices:     s.Devices,
+		NoInline:    s.NoInline,
+		Deadline:    1 << 40,
+	}
+	if s.SRDEntries > 0 {
+		cfg.SRD = vl.Config{ProdEntries: s.SRDEntries, ConsEntries: s.SRDEntries, LinkEntries: maxInt(s.SRDEntries, 64)}
+	}
+	if s.Tuned != nil && alg == spamer.AlgTuned {
+		cfg.Tuned = config.TunedParams{
+			Zeta: s.Tuned.Zeta, Tau: s.Tuned.Tau, Delta: s.Tuned.Delta,
+			Alpha: s.Tuned.Alpha, Beta: s.Tuned.Beta,
+		}
+	}
+	return cfg
+}
+
+// Run executes the spec, returning one Outcome per algorithm.
+func (s *Spec) Run() ([]Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	w, _ := s.workload()
+	algs := s.Algorithms
+	if len(algs) == 0 {
+		algs = spamer.Configs()
+	}
+	scale := s.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	var base *spamer.Result
+	var out []Outcome
+	for _, alg := range algs {
+		res := w.Run(s.systemConfig(alg), scale)
+		o := Outcome{
+			Label:          s.Label,
+			Benchmark:      s.Benchmark,
+			Algorithm:      alg,
+			Ticks:          res.Ticks,
+			Milliseconds:   res.MS,
+			Messages:       res.Pushed,
+			FailureRate:    res.FailureRate(),
+			BusUtilization: res.BusUtilization,
+			PushesIssued:   res.Device.TotalPushes(),
+			Fetches:        res.Device.Fetches,
+		}
+		if alg == spamer.AlgBaseline {
+			r := res
+			base = &r
+		}
+		if base != nil {
+			o.SpeedupOverVL = res.Speedup(*base)
+		}
+		if s.Repeat > 1 {
+			det := true
+			for i := 1; i < s.Repeat; i++ {
+				again := w.Run(s.systemConfig(alg), scale)
+				if again.Ticks != res.Ticks || again.Device != res.Device {
+					det = false
+					break
+				}
+			}
+			o.Deterministic = &det
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// ReadSpecs decodes one spec or an array of specs from JSON.
+func ReadSpecs(r io.Reader) ([]Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var many []Spec
+	if err := json.Unmarshal(data, &many); err == nil {
+		return many, nil
+	}
+	var one Spec
+	if err := json.Unmarshal(data, &one); err != nil {
+		return nil, fmt.Errorf("experiments: spec JSON: %w", err)
+	}
+	return []Spec{one}, nil
+}
+
+// WriteOutcomes encodes outcomes as indented JSON.
+func WriteOutcomes(w io.Writer, outs []Outcome) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(outs)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"spamer"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Benchmark: "FIR"}, true},
+		{Spec{}, false},
+		{Spec{Benchmark: "nope"}, false},
+		{Spec{Benchmark: "FIR", Algorithms: []string{"vl", "bogus"}}, false},
+		{Spec{Benchmark: "FIR", Algorithms: []string{"history", "dyntuned"}}, true},
+		{Spec{Benchmark: "allreduce"}, false}, // extended needs opt-in
+		{Spec{Benchmark: "allreduce", Extensions: &Extensions{AllowExtendedWorkloads: true}}, true},
+		{Spec{Benchmark: "FIR", Scale: -1}, false},
+	}
+	for i, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err=%v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestSpecRunProducesOutcomes(t *testing.T) {
+	s := Spec{Benchmark: "firewall", Algorithms: []string{"vl", "tuned"}, Label: "x"}
+	outs, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	if outs[0].Algorithm != "vl" || outs[0].SpeedupOverVL != 1.0 {
+		t.Fatalf("baseline outcome: %+v", outs[0])
+	}
+	if outs[1].SpeedupOverVL <= 1.0 {
+		t.Fatalf("tuned not faster: %+v", outs[1])
+	}
+	if outs[1].Label != "x" || outs[1].Messages == 0 {
+		t.Fatalf("outcome fields: %+v", outs[1])
+	}
+}
+
+func TestSpecRepeatChecksDeterminism(t *testing.T) {
+	s := Spec{Benchmark: "ping-pong", Algorithms: []string{"tuned"}, Repeat: 2}
+	outs, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Deterministic == nil || !*outs[0].Deterministic {
+		t.Fatalf("determinism flag: %+v", outs[0])
+	}
+}
+
+func TestSpecOverridesApply(t *testing.T) {
+	slow := Spec{Benchmark: "ping-pong", Algorithms: []string{"vl"}, HopLatency: 48}
+	fast := Spec{Benchmark: "ping-pong", Algorithms: []string{"vl"}, HopLatency: 6}
+	so, _ := slow.Run()
+	fo, _ := fast.Run()
+	if so[0].Ticks <= fo[0].Ticks {
+		t.Fatalf("hop override ineffective: %d vs %d", so[0].Ticks, fo[0].Ticks)
+	}
+}
+
+func TestSpecTunedOverride(t *testing.T) {
+	s := Spec{
+		Benchmark:  "FIR",
+		Algorithms: []string{"tuned"},
+		Tuned:      &TunedSpec{Zeta: 512, Tau: 48, Delta: 128, Alpha: 1, Beta: 2},
+	}
+	outs, err := s.Run()
+	if err != nil || len(outs) != 1 {
+		t.Fatalf("%v %v", outs, err)
+	}
+	def, _ := (&Spec{Benchmark: "FIR", Algorithms: []string{"tuned"}}).Run()
+	if outs[0].Ticks == def[0].Ticks {
+		t.Fatal("tuned override produced identical run (suspicious)")
+	}
+}
+
+func TestReadSpecsSingleAndArray(t *testing.T) {
+	single := `{"benchmark":"FIR"}`
+	specs, err := ReadSpecs(strings.NewReader(single))
+	if err != nil || len(specs) != 1 || specs[0].Benchmark != "FIR" {
+		t.Fatalf("%v %v", specs, err)
+	}
+	array := `[{"benchmark":"FIR"},{"benchmark":"halo","algorithms":["vl"]}]`
+	specs, err = ReadSpecs(strings.NewReader(array))
+	if err != nil || len(specs) != 2 || specs[1].Benchmark != "halo" {
+		t.Fatalf("%v %v", specs, err)
+	}
+	if _, err = ReadSpecs(strings.NewReader("not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestWriteOutcomesRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	err := WriteOutcomes(&sb, []Outcome{{Benchmark: "FIR", Algorithm: spamer.AlgTuned, Ticks: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"ticks": 42`) {
+		t.Fatalf("json: %s", sb.String())
+	}
+}

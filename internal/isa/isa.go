@@ -1,0 +1,168 @@
+// Package isa models the instruction-set extension of Virtual-Link and
+// SPAMeR (§3.3): vl_select, vl_push, vl_fetch, and the vl_fetch alias
+// spamer_register. Each operation costs core-side cycles (charged to the
+// calling process) and, where architecturally required, a packet on the
+// coherence network addressed to the routing device's device-memory
+// range.
+//
+// vl_push and vl_fetch are posted operations: the core does not stall for
+// the round trip. Backpressure appears as NACKs (prodBuf/consBuf
+// exhausted), which the implementation retries transparently with
+// backoff — the micro-architectural analogue of a store buffer replaying
+// a rejected device write.
+package isa
+
+import (
+	"spamer/internal/config"
+	"spamer/internal/mem"
+	"spamer/internal/noc"
+	"spamer/internal/sim"
+	"spamer/internal/vl"
+)
+
+// RetryBackoffCycles spaces out replays of NACKed device writes.
+const RetryBackoffCycles = 12
+
+// MaxRetries bounds replay attempts before the operation panics; a
+// healthy configuration never gets near it, so hitting the bound almost
+// always means a deadlocked workload.
+const MaxRetries = 1 << 20
+
+// ISA issues the VL/SPAMeR operations against one routing device.
+type ISA struct {
+	k   *sim.Kernel
+	bus *noc.Bus
+	dev *vl.Device
+
+	stats Stats
+}
+
+// Stats counts issued operations and replayed NACKs.
+type Stats struct {
+	Selects   uint64
+	Pushes    uint64
+	Fetches   uint64
+	Registers uint64
+	Replays   uint64
+}
+
+// New returns an ISA bound to the given device.
+func New(k *sim.Kernel, bus *noc.Bus, dev *vl.Device) *ISA {
+	return &ISA{k: k, bus: bus, dev: dev}
+}
+
+// Stats returns a snapshot of the operation counters.
+func (i *ISA) Stats() Stats { return i.stats }
+
+// Device returns the routing device operations are addressed to.
+func (i *ISA) Device() *vl.Device { return i.dev }
+
+// Select models vl_select: translate a line's virtual address into the
+// system register only vl_push/vl_fetch may read. Pure core-side cost.
+func (i *ISA) Select(p *sim.Proc) {
+	i.stats.Selects++
+	p.Sleep(config.VLSelectCycles)
+}
+
+// Sender issues the device writes of one endpoint in order, replaying
+// NACKed writes without letting younger writes of the same endpoint
+// overtake them — store-buffer semantics. Without this ordering, a
+// replayed vl_push could land behind a younger push of the same producer
+// and break per-producer FIFO delivery.
+//
+// Writes of different endpoints use different Senders and interleave
+// freely, as they would from different cores.
+type Sender struct {
+	i    *ISA
+	kind noc.PacketKind
+	q    []senderOp
+	busy bool
+}
+
+type senderOp struct {
+	attempt  func() bool // delivery-time device write; true = accepted
+	accepted func()      // runs at the acceptance tick; may be nil
+}
+
+// NewPushSender returns the ordered vl_push channel of one producer
+// endpoint.
+func (i *ISA) NewPushSender() *Sender { return &Sender{i: i, kind: noc.PktPush} }
+
+// NewFetchSender returns the ordered vl_fetch channel of one consumer
+// endpoint.
+func (i *ISA) NewFetchSender() *Sender { return &Sender{i: i, kind: noc.PktFetchReq} }
+
+func (s *Sender) enqueue(op senderOp) {
+	s.q = append(s.q, op)
+	s.issue()
+}
+
+func (s *Sender) issue() {
+	if s.busy || len(s.q) == 0 {
+		return
+	}
+	s.busy = true
+	s.deliver(0)
+}
+
+func (s *Sender) deliver(attempt int) {
+	op := s.q[0]
+	s.i.bus.Send(s.kind, func() {
+		if op.attempt() {
+			s.q = s.q[1:]
+			s.busy = false
+			if op.accepted != nil {
+				op.accepted()
+			}
+			s.issue()
+			return
+		}
+		if attempt+1 >= MaxRetries {
+			panic("isa: device-write replay bound exceeded (deadlocked workload?)")
+		}
+		s.i.stats.Replays++
+		s.i.k.After(RetryBackoffCycles, func() { s.deliver(attempt + 1) })
+	})
+}
+
+// Pending reports queued-but-unaccepted writes (tests/diagnostics).
+func (s *Sender) Pending() int { return len(s.q) }
+
+// Push models vl_push through the endpoint's ordered sender: copy the
+// selected line's content to the routing device without changing the
+// line's coherence state. The calling process is charged the issue cost;
+// delivery and NACK replay proceed asynchronously. accepted runs (at the
+// acceptance tick) once the device takes ownership; it may be nil.
+func (i *ISA) Push(p *sim.Proc, snd *Sender, sqi vl.SQI, msg mem.Message, accepted func()) {
+	i.stats.Pushes++
+	p.Sleep(config.VLPushCycles)
+	snd.enqueue(senderOp{
+		attempt:  func() bool { return i.dev.Push(sqi, msg) },
+		accepted: accepted,
+	})
+}
+
+// Fetch models vl_fetch through the endpoint's ordered sender: write the
+// selected consumer-line physical address to the device-memory range of
+// consBuf. Posted; NACKs replay in order.
+func (i *ISA) Fetch(p *sim.Proc, snd *Sender, sqi vl.SQI, target mem.Addr) {
+	i.stats.Fetches++
+	p.Sleep(config.VLFetchCycles)
+	snd.enqueue(senderOp{
+		attempt: func() bool { return i.dev.Fetch(sqi, target) },
+	})
+}
+
+// Register models spamer_register: "a vl_fetch instruction writing to
+// specBuf" (§3.3). Registration failures are configuration errors
+// (specBuf exhausted) and surface as panics at delivery time; the §4.5
+// position is that the OS must manage specBuf like any limited resource.
+func (i *ISA) Register(p *sim.Proc, sqi vl.SQI, base mem.Addr, n int) {
+	i.stats.Registers++
+	p.Sleep(config.SpamerRegCycles)
+	i.bus.Send(noc.PktRegister, func() {
+		if err := i.dev.Register(sqi, base, n); err != nil {
+			panic(err)
+		}
+	})
+}

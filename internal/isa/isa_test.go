@@ -1,0 +1,149 @@
+package isa
+
+import (
+	"testing"
+
+	"spamer/internal/config"
+	"spamer/internal/mem"
+	"spamer/internal/noc"
+	"spamer/internal/sim"
+	"spamer/internal/vl"
+)
+
+type rig struct {
+	k   *sim.Kernel
+	bus *noc.Bus
+	as  *mem.AddressSpace
+	dev *vl.Device
+	isa *ISA
+}
+
+func newRig(cfg vl.Config) *rig {
+	k := sim.New()
+	k.SetDeadline(1 << 30)
+	bus := noc.New(k)
+	as := mem.NewAddressSpace(k)
+	dev := vl.New(k, bus, as, cfg)
+	return &rig{k: k, bus: bus, as: as, dev: dev, isa: New(k, bus, dev)}
+}
+
+func TestSelectCostsCoreCycles(t *testing.T) {
+	r := newRig(vl.Config{})
+	var end uint64
+	r.k.Go("core", func(p *sim.Proc) {
+		r.isa.Select(p)
+		end = p.Now()
+	})
+	r.k.Run()
+	if end != config.VLSelectCycles {
+		t.Fatalf("select took %d cycles", end)
+	}
+	if r.isa.Stats().Selects != 1 {
+		t.Fatalf("stats = %+v", r.isa.Stats())
+	}
+}
+
+func TestPushDelivery(t *testing.T) {
+	r := newRig(vl.Config{})
+	s, _ := r.dev.AllocSQI()
+	snd := r.isa.NewPushSender()
+	var acceptedAt uint64
+	r.k.Go("core", func(p *sim.Proc) {
+		r.isa.Push(p, snd, s, mem.Message{Payload: 5}, func() { acceptedAt = r.k.Now() })
+	})
+	r.k.Run()
+	if acceptedAt == 0 {
+		t.Fatal("push never accepted")
+	}
+	if r.dev.BufferedLen(s) != 1 {
+		t.Fatal("message not buffered at device")
+	}
+}
+
+// TestSenderOrderedReplay: a NACKed head write replays before younger
+// writes of the same endpoint reach the device.
+func TestSenderOrderedReplay(t *testing.T) {
+	r := newRig(vl.Config{ProdEntries: 1, LinkEntries: 1})
+	s, _ := r.dev.AllocSQI()
+	pg := r.as.NewPage(4)
+	snd := r.isa.NewPushSender()
+	fsnd := r.isa.NewFetchSender()
+
+	r.k.Go("producer", func(p *sim.Proc) {
+		// Three pushes against a 1-entry prodBuf: heavy NACK replay.
+		for i := 0; i < 3; i++ {
+			r.isa.Push(p, snd, s, mem.Message{Seq: uint64(i)}, nil)
+		}
+	})
+	r.k.Go("consumer", func(p *sim.Proc) {
+		p.Sleep(200)
+		for i := 0; i < 3; i++ {
+			r.isa.Fetch(p, fsnd, s, pg.Lines[i].Addr)
+			line := pg.Lines[i]
+			for line.State != mem.LineValid {
+				line.OnFill.Wait(p)
+			}
+			line.Take()
+		}
+	})
+	r.k.Run()
+	if r.isa.Stats().Replays == 0 {
+		t.Fatal("expected NACK replays with a 1-entry prodBuf")
+	}
+	// Delivery order must match issue order despite replays: the fills
+	// landed in line order, and Take asserted FIFO via the loop above.
+	if got := r.dev.Stats().PushAccepts; got != 3 {
+		t.Fatalf("accepts = %d", got)
+	}
+}
+
+func TestSenderPending(t *testing.T) {
+	r := newRig(vl.Config{ProdEntries: 1, LinkEntries: 1})
+	s, _ := r.dev.AllocSQI()
+	snd := r.isa.NewPushSender()
+	r.k.Go("producer", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			r.isa.Push(p, snd, s, mem.Message{Seq: uint64(i)}, nil)
+		}
+		if snd.Pending() == 0 {
+			t.Error("sender queue empty immediately after 3 posted pushes")
+		}
+	})
+	r.k.RunUntil(20)
+	if snd.Pending() < 2 {
+		t.Fatalf("pending = %d, want >= 2 (1-entry prodBuf)", snd.Pending())
+	}
+	r.k.Drain()
+}
+
+func TestRegisterReachesDevice(t *testing.T) {
+	r := newRig(vl.Config{})
+	ext := &captureExt{}
+	r.dev.SetSpecExtension(ext)
+	s, _ := r.dev.AllocSQI()
+	r.k.Go("core", func(p *sim.Proc) {
+		r.isa.Register(p, s, 0x1000, 4)
+	})
+	r.k.Run()
+	if ext.base != 0x1000 || ext.n != 4 {
+		t.Fatalf("register not delivered: %+v", ext)
+	}
+	if r.isa.Stats().Registers != 1 {
+		t.Fatalf("stats = %+v", r.isa.Stats())
+	}
+}
+
+type captureExt struct {
+	base mem.Addr
+	n    int
+}
+
+func (c *captureExt) Register(sqi vl.SQI, base mem.Addr, n int) error {
+	c.base, c.n = base, n
+	return nil
+}
+func (c *captureExt) SelectTarget(vl.SQI, uint64) (mem.Addr, int, uint64, bool) {
+	return 0, 0, 0, false
+}
+func (c *captureExt) OnResult(int, bool, uint64) {}
+func (c *captureExt) Unregister(vl.SQI)          {}

@@ -1,0 +1,81 @@
+package mem
+
+import (
+	"fmt"
+
+	"spamer/internal/config"
+	"spamer/internal/sim"
+)
+
+// Page is a contiguous run of endpoint cache lines at unique addresses —
+// the per-endpoint buffer the paper describes ("a producer may have a 4KiB
+// page, the consumer a completely different page", §3.1).
+type Page struct {
+	Base  Addr
+	Lines []*Line
+}
+
+// pageAllocator hands out non-overlapping address ranges. Each endpoint
+// gets a unique page, which is precisely VL's no-shared-state property.
+type pageAllocator struct {
+	next Addr
+}
+
+// AddressSpace allocates endpoint pages with unique, non-overlapping
+// cache-line addresses, and resolves addresses back to lines (the routing
+// device needs this to deliver stashes).
+type AddressSpace struct {
+	k     *sim.Kernel
+	alloc pageAllocator
+	lines map[Addr]*Line
+}
+
+// NewAddressSpace returns an empty address space starting at a non-zero
+// base (address 0 is reserved as the nil/NULL target of the mapping
+// pipeline, Figure 4).
+func NewAddressSpace(k *sim.Kernel) *AddressSpace {
+	return &AddressSpace{
+		k:     k,
+		alloc: pageAllocator{next: Addr(config.LineBytes)},
+		lines: make(map[Addr]*Line),
+	}
+}
+
+// NewPage allocates a page of n lines.
+func (as *AddressSpace) NewPage(n int) *Page {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: NewPage(%d)", n))
+	}
+	p := &Page{Base: as.alloc.next, Lines: make([]*Line, n)}
+	for i := range p.Lines {
+		l := NewLine(as.k, as.alloc.next)
+		as.lines[l.Addr] = l
+		p.Lines[i] = l
+		as.alloc.next += Addr(config.LineBytes)
+	}
+	return p
+}
+
+// Lookup resolves a line address. It panics on unknown addresses: the
+// routing device only ever holds addresses that endpoints registered.
+func (as *AddressSpace) Lookup(a Addr) *Line {
+	l, ok := as.lines[a]
+	if !ok {
+		panic(fmt.Sprintf("mem: unknown line address %#x", uint64(a)))
+	}
+	return l
+}
+
+// NumLines reports how many lines have been allocated.
+func (as *AddressSpace) NumLines() int { return len(as.lines) }
+
+// Occupancy sums empty/valid tick integrals over a set of lines; the
+// Figure 9 harness averages this over all consumer lines of a run.
+func Occupancy(lines []*Line) (empty, valid uint64) {
+	for _, l := range lines {
+		e, v := l.Occupancy()
+		empty += e
+		valid += v
+	}
+	return empty, valid
+}

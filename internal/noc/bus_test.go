@@ -1,0 +1,173 @@
+package noc
+
+import (
+	"testing"
+
+	"spamer/internal/config"
+	"spamer/internal/sim"
+)
+
+func TestPacketDeliveryLatency(t *testing.T) {
+	k := sim.New()
+	b := New(k)
+	var arrived uint64
+	k.At(0, func() {
+		b.Send(PktFetchReq, func() { arrived = k.Now() })
+	})
+	k.Run()
+	want := uint64(config.CtrlPacketCycles + config.HopCycles)
+	if arrived != want {
+		t.Fatalf("arrival = %d, want %d", arrived, want)
+	}
+}
+
+func TestDataPacketOccupancy(t *testing.T) {
+	k := sim.New()
+	b := New(k)
+	var arrived uint64
+	k.At(0, func() {
+		b.Send(PktStash, func() { arrived = k.Now() })
+	})
+	k.Run()
+	occ := uint64((config.LineBytes + config.BusBytesPerCycle - 1) / config.BusBytesPerCycle)
+	want := occ + config.HopCycles
+	if arrived != want {
+		t.Fatalf("arrival = %d, want %d", arrived, want)
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	k := sim.New()
+	b := NewWithOptions(k, config.HopCycles, 1) // single channel: strict FIFO
+	var arrivals []uint64
+	k.At(0, func() {
+		for i := 0; i < 3; i++ {
+			b.Send(PktStash, func() { arrivals = append(arrivals, k.Now()) })
+		}
+	})
+	k.Run()
+	occ := uint64(2) // 64B / 32B-per-cycle
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	for i, a := range arrivals {
+		want := occ*uint64(i+1) + config.HopCycles
+		if a != want {
+			t.Fatalf("arrival[%d] = %d, want %d", i, a, want)
+		}
+	}
+	if got := b.Stats().BusyCycles; got != 3*occ {
+		t.Fatalf("BusyCycles = %d, want %d", got, 3*occ)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	k := sim.New()
+	b := New(k)
+	k.At(0, func() {
+		b.Send(PktStash, nil)
+		b.Send(PktStash, nil)
+	})
+	k.At(100, func() {
+		want := 4.0 / float64(100*b.Channels())
+		if u := b.Utilization(); u != want {
+			t.Errorf("utilization = %v, want %v", u, want)
+		}
+	})
+	k.Run()
+}
+
+func TestUtilizationCapsAtOne(t *testing.T) {
+	k := sim.New()
+	b := New(k)
+	k.At(0, func() {
+		for i := 0; i < 100; i++ {
+			b.Send(PktStash, nil)
+		}
+	})
+	k.At(10, func() {
+		if u := b.Utilization(); u > 1 {
+			t.Errorf("utilization = %v > 1", u)
+		}
+	})
+	k.Run()
+}
+
+func TestPacketCounters(t *testing.T) {
+	k := sim.New()
+	b := New(k)
+	k.At(0, func() {
+		b.Send(PktPush, nil)
+		b.Send(PktPush, nil)
+		b.Send(PktFetchReq, nil)
+		b.Send(PktResp, nil)
+	})
+	k.Run()
+	s := b.Stats()
+	if s.PacketCount(PktPush) != 2 || s.PacketCount(PktFetchReq) != 1 || s.PacketCount(PktResp) != 1 {
+		t.Fatalf("counts: %+v", s.Packets)
+	}
+	if s.TotalPackets() != 4 {
+		t.Fatalf("TotalPackets = %d", s.TotalPackets())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	k := sim.New()
+	b := New(k)
+	k.At(0, func() { b.Send(PktPush, nil) })
+	k.At(50, func() {
+		b.ResetStats()
+		if b.Stats().TotalPackets() != 0 {
+			t.Error("ResetStats did not clear packets")
+		}
+	})
+	k.At(100, func() {
+		if u := b.Utilization(); u != 0 {
+			t.Errorf("post-reset utilization = %v", u)
+		}
+	})
+	k.Run()
+}
+
+func TestChannelsParallel(t *testing.T) {
+	k := sim.New()
+	b := NewWithOptions(k, 0, 2)
+	var arrivals []uint64
+	k.At(0, func() {
+		for i := 0; i < 4; i++ {
+			b.Send(PktStash, func() { arrivals = append(arrivals, k.Now()) })
+		}
+	})
+	k.Run()
+	// 2 channels, occupancy 2: pairs arrive at 2 and 4.
+	want := []uint64{2, 2, 4, 4}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrivals = %v, want %v", arrivals, want)
+		}
+	}
+}
+
+func TestCustomHopLatency(t *testing.T) {
+	k := sim.New()
+	b := NewWithHopLatency(k, 50)
+	var arrived uint64
+	k.At(0, func() { b.Send(PktResp, func() { arrived = k.Now() }) })
+	k.Run()
+	if arrived != 51 {
+		t.Fatalf("arrival = %d, want 51", arrived)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []PacketKind{PktPush, PktFetchReq, PktStash, PktResp, PktRegister, PktCoherence}
+	seen := map[string]bool{}
+	for _, pk := range kinds {
+		s := pk.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate String for %d: %q", pk, s)
+		}
+		seen[s] = true
+	}
+}

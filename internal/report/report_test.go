@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, [][]string{
+		{"name", "value"},
+		{"a", "1"},
+		{"longer", "22"},
+	}, true)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, nil, true)
+	if sb.Len() != 0 {
+		t.Fatal("empty table produced output")
+	}
+}
+
+func TestBarScaling(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Fatalf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Fatalf("over-max Bar = %q", got)
+	}
+	if got := Bar(0, 10, 10); got != "" {
+		t.Fatalf("zero Bar = %q", got)
+	}
+	if got := Bar(1, 0, 10); got != "" {
+		t.Fatalf("zero-max Bar = %q", got)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var sb strings.Builder
+	BarChart(&sb, "speedup", []string{"a", "bb"}, []float64{1.0, 2.0}, "x")
+	out := sb.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "2x") {
+		t.Fatalf("chart:\n%s", out)
+	}
+}
+
+func TestGroupedBarChart(t *testing.T) {
+	var sb strings.Builder
+	GroupedBarChart(&sb, "fig", []string{"g1"}, []string{"s1", "s2"},
+		[][]float64{{1, 2}}, "")
+	out := sb.String()
+	if !strings.Contains(out, "g1") || !strings.Contains(out, "s2") {
+		t.Fatalf("chart:\n%s", out)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	var sb strings.Builder
+	Scatter(&sb, "fig11", []string{"p"}, []float64{0.5}, []float64{2.0}, "delay", "energy")
+	out := sb.String()
+	if !strings.Contains(out, "x=0.500") || !strings.Contains(out, "y=2.000") {
+		t.Fatalf("scatter:\n%s", out)
+	}
+}

@@ -1,0 +1,176 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SVG rendering for the harness figures, standard library only. The
+// output is intentionally plain: grouped bars for Figures 8-10 and a
+// scatter for Figure 11, with axis labels and a legend, suitable for
+// embedding in a README or paper appendix.
+
+var svgPalette = []string{"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"}
+
+type svgCanvas struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newCanvas(w, h int) *svgCanvas {
+	c := &svgCanvas{w: w, h: h}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+func (c *svgCanvas) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x, y, w, h, fill)
+}
+
+func (c *svgCanvas) line(x1, y1, x2, y2 float64, stroke string) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n", x1, y1, x2, y2, stroke)
+}
+
+func (c *svgCanvas) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+func (c *svgCanvas) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, anchor, escape(s))
+}
+
+func (c *svgCanvas) finish(w io.Writer) error {
+	c.b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, c.b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// SVGGroupedBars renders groups x series as vertical grouped bars — the
+// Figure 8/9/10 layout. A horizontal reference line is drawn at ref
+// (e.g. 1.0 for speedups) when ref > 0.
+func SVGGroupedBars(w io.Writer, title string, groups, series []string, values [][]float64, ref float64) error {
+	const width, height = 860, 420
+	const mLeft, mRight, mTop, mBottom = 60, 20, 50, 80
+	c := newCanvas(width, height)
+	c.text(width/2, 24, 16, "middle", title)
+
+	maxVal := ref
+	for _, row := range values {
+		for _, v := range row {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	maxVal *= 1.1
+
+	plotW := float64(width - mLeft - mRight)
+	plotH := float64(height - mTop - mBottom)
+	y0 := float64(mTop) + plotH
+
+	// Axes and ticks.
+	c.line(float64(mLeft), float64(mTop), float64(mLeft), y0, "#333")
+	c.line(float64(mLeft), y0, float64(mLeft)+plotW, y0, "#333")
+	for i := 0; i <= 4; i++ {
+		v := maxVal * float64(i) / 4
+		y := y0 - plotH*float64(i)/4
+		c.line(float64(mLeft)-4, y, float64(mLeft), y, "#333")
+		c.text(float64(mLeft)-8, y+4, 11, "end", fmt.Sprintf("%.2g", v))
+	}
+	if ref > 0 {
+		y := y0 - plotH*ref/maxVal
+		c.line(float64(mLeft), y, float64(mLeft)+plotW, y, "#999")
+	}
+
+	groupW := plotW / float64(len(groups))
+	barW := groupW * 0.8 / float64(len(series))
+	for gi, g := range groups {
+		gx := float64(mLeft) + groupW*float64(gi)
+		for si := range series {
+			v := values[gi][si]
+			h := plotH * v / maxVal
+			x := gx + groupW*0.1 + barW*float64(si)
+			c.rect(x, y0-h, barW-1, h, svgPalette[si%len(svgPalette)])
+		}
+		c.text(gx+groupW/2, y0+16, 11, "middle", g)
+	}
+	// Legend.
+	lx := float64(mLeft)
+	ly := float64(height - 28)
+	for si, s := range series {
+		c.rect(lx, ly-10, 12, 12, svgPalette[si%len(svgPalette)])
+		c.text(lx+16, ly, 12, "start", s)
+		lx += float64(26 + 8*len(s))
+	}
+	return c.finish(w)
+}
+
+// SVGScatter renders labelled points — the Figure 11 layout — with the
+// first point treated as the baseline anchor and crosshair lines drawn
+// through it.
+func SVGScatter(w io.Writer, title, xName, yName string, labels []string, xs, ys []float64) error {
+	const width, height = 640, 480
+	const mLeft, mRight, mTop, mBottom = 70, 30, 50, 60
+	c := newCanvas(width, height)
+	c.text(width/2, 24, 16, "middle", title)
+
+	maxX, maxY := 0.0, 0.0
+	for i := range xs {
+		if xs[i] > maxX {
+			maxX = xs[i]
+		}
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+	}
+	maxX *= 1.15
+	maxY *= 1.15
+	if maxX <= 0 {
+		maxX = 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+
+	plotW := float64(width - mLeft - mRight)
+	plotH := float64(height - mTop - mBottom)
+	y0 := float64(mTop) + plotH
+	px := func(x float64) float64 { return float64(mLeft) + plotW*x/maxX }
+	py := func(y float64) float64 { return y0 - plotH*y/maxY }
+
+	c.line(float64(mLeft), float64(mTop), float64(mLeft), y0, "#333")
+	c.line(float64(mLeft), y0, float64(mLeft)+plotW, y0, "#333")
+	for i := 0; i <= 4; i++ {
+		xv := maxX * float64(i) / 4
+		yv := maxY * float64(i) / 4
+		c.text(px(xv), y0+16, 11, "middle", fmt.Sprintf("%.2g", xv))
+		c.text(float64(mLeft)-8, py(yv)+4, 11, "end", fmt.Sprintf("%.2g", yv))
+	}
+	c.text(width/2, height-14, 13, "middle", xName)
+	c.text(16, mTop-10, 13, "start", yName)
+
+	if len(xs) > 0 {
+		// Baseline crosshair through point 0.
+		c.line(px(xs[0]), float64(mTop), px(xs[0]), y0, "#ccc")
+		c.line(float64(mLeft), py(ys[0]), float64(mLeft)+plotW, py(ys[0]), "#ccc")
+	}
+	for i := range xs {
+		color := svgPalette[i%len(svgPalette)]
+		c.circle(px(xs[i]), py(ys[i]), 4, color)
+		if i < 4 { // label the named algorithms only; the grid clutters
+			c.text(px(xs[i])+6, py(ys[i])-6, 10, "start", labels[i])
+		}
+	}
+	return c.finish(w)
+}

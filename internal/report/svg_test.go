@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGGroupedBars(t *testing.T) {
+	var sb strings.Builder
+	err := SVGGroupedBars(&sb, "Figure 8", []string{"FIR", "halo"}, []string{"0delay", "tuned"},
+		[][]float64{{1.66, 1.48}, {1.35, 1.35}}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"<svg", "</svg>", "Figure 8", "FIR", "tuned", "<rect"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("missing %q in SVG", frag)
+		}
+	}
+	// 4 bars + background + legend swatches.
+	if strings.Count(out, "<rect") < 6 {
+		t.Fatalf("too few rects:\n%s", out)
+	}
+}
+
+func TestSVGScatter(t *testing.T) {
+	var sb strings.Builder
+	err := SVGScatter(&sb, "Figure 11: FIR", "delay", "energy",
+		[]string{"VL(baseline)", "0delay", "adapt", "tuned", "grid1"},
+		[]float64{1, 0.6, 0.72, 0.68, 0.7},
+		[]float64{1, 1.4, 1.32, 1.17, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "<circle") != 5 {
+		t.Fatalf("circles = %d", strings.Count(out, "<circle"))
+	}
+	if !strings.Contains(out, "VL(baseline)") || strings.Contains(out, ">grid1<") {
+		t.Fatal("labeling rules violated")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	var sb strings.Builder
+	if err := SVGGroupedBars(&sb, "a < b & c", []string{"g"}, []string{"s"}, [][]float64{{1}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "a < b & c") {
+		t.Fatal("unescaped markup in SVG text")
+	}
+	if !strings.Contains(sb.String(), "a &lt; b &amp; c") {
+		t.Fatal("escape missing")
+	}
+}

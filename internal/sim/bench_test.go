@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventDispatch measures raw event-queue throughput — the
+// floor under every simulation in the repository.
+func BenchmarkEventDispatch(b *testing.B) {
+	k := New()
+	n := 0
+	var self func()
+	self = func() {
+		n++
+		if n < b.N {
+			k.After(1, self)
+		}
+	}
+	k.At(0, self)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkEventHeapChurn measures scheduling with a deep heap.
+func BenchmarkEventHeapChurn(b *testing.B) {
+	k := New()
+	for i := 0; i < 1024; i++ {
+		k.At(uint64(1+i%97), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.At(uint64(1+i%97), func() {})
+	}
+	b.StopTimer()
+	k.Run()
+}
+
+// BenchmarkProcSwitch measures a coroutine sleep/wake round trip — two
+// goroutine handoffs per iteration.
+func BenchmarkProcSwitch(b *testing.B) {
+	k := New()
+	k.Go("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSignalFire measures broadcast wake of 8 parked processes.
+func BenchmarkSignalFire(b *testing.B) {
+	k := New()
+	sig := NewSignal("s")
+	const waiters = 8
+	for w := 0; w < waiters; w++ {
+		k.Go("w", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				sig.Wait(p)
+			}
+		})
+	}
+	var pump func()
+	fired := 0
+	pump = func() {
+		sig.Fire()
+		fired++
+		if fired < b.N+1 {
+			k.After(1, pump)
+		}
+	}
+	k.At(1, pump)
+	b.ResetTimer()
+	k.Run()
+	b.StopTimer()
+	k.Drain()
+}

@@ -1,0 +1,146 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// with cooperative coroutine processes.
+//
+// Time is measured in ticks; by convention one tick is one CPU cycle of the
+// simulated 2 GHz machine (see internal/config). Events scheduled for the
+// same tick fire in scheduling order (FIFO), which makes runs bit-for-bit
+// reproducible: the kernel never runs two processes concurrently, and the
+// event heap breaks tick ties with a monotonically increasing sequence
+// number.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a closure scheduled to run at a simulated tick.
+type event struct {
+	tick uint64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].tick != h[j].tick {
+		return h[i].tick < h[j].tick
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator instance. The zero value is not
+// usable; construct with New.
+type Kernel struct {
+	now      uint64
+	seq      uint64
+	events   eventHeap
+	procs    []*Proc
+	live     int // procs spawned and not yet finished
+	stopped  bool
+	maxTick  uint64 // watchdog: Run panics past this tick (0 = unlimited)
+	executed uint64 // total events dispatched, for diagnostics
+}
+
+// New returns an empty kernel at tick zero.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now reports the current simulated tick.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// Executed reports how many events have been dispatched so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// SetDeadline arms a watchdog: if simulated time passes t while events are
+// still pending, Run panics. Use it in tests to convert deadlock or
+// livelock into a loud failure instead of an endless loop.
+func (k *Kernel) SetDeadline(t uint64) { k.maxTick = t }
+
+// At schedules fn to run at absolute tick t. Scheduling in the past is a
+// programming error and panics.
+func (k *Kernel) At(t uint64, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at tick %d before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{tick: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d ticks from now.
+func (k *Kernel) After(d uint64, fn func()) { k.At(k.now+d, fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; a subsequent Run continues from where it left off.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run dispatches events in (tick, seq) order until the event queue drains,
+// Stop is called, or the watchdog deadline passes.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		e := heap.Pop(&k.events).(event)
+		if e.tick < k.now {
+			panic("sim: event heap went backwards")
+		}
+		k.now = e.tick
+		if k.maxTick != 0 && k.now > k.maxTick {
+			panic(fmt.Sprintf("sim: watchdog deadline %d exceeded at tick %d (%d live procs)",
+				k.maxTick, k.now, k.live))
+		}
+		k.executed++
+		e.fn()
+	}
+}
+
+// RunUntil dispatches events with tick <= t, then sets now = t.
+func (k *Kernel) RunUntil(t uint64) {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		if k.events[0].tick > t {
+			break
+		}
+		e := heap.Pop(&k.events).(event)
+		k.now = e.tick
+		k.executed++
+		e.fn()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// LiveProcs reports the number of spawned processes that have not finished.
+func (k *Kernel) LiveProcs() int { return k.live }
+
+// Drain releases any processes still parked so their goroutines can exit.
+// Call it when abandoning a simulation early (e.g. RunUntil in tests);
+// a fully Run simulation needs no draining.
+func (k *Kernel) Drain() {
+	for _, p := range k.procs {
+		if !p.finished && p.started {
+			p.abort()
+		}
+	}
+	k.events = nil
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := New()
+	var got []int
+	k.At(10, func() { got = append(got, 1) })
+	k.At(5, func() { got = append(got, 0) })
+	k.At(10, func() { got = append(got, 2) }) // same tick: FIFO by seq
+	k.At(20, func() { got = append(got, 3) })
+	k.Run()
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20", k.Now())
+	}
+}
+
+func TestAfterAccumulates(t *testing.T) {
+	k := New()
+	var ticks []uint64
+	k.At(3, func() {
+		k.After(7, func() { ticks = append(ticks, k.Now()) })
+	})
+	k.Run()
+	if len(ticks) != 1 || ticks[0] != 10 {
+		t.Fatalf("ticks = %v, want [10]", ticks)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestStopAndResume(t *testing.T) {
+	k := New()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		tick := uint64(i * 10)
+		k.At(tick, func() {
+			n++
+			if tick == 30 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if n != 3 {
+		t.Fatalf("after Stop: n = %d, want 3", n)
+	}
+	k.Run()
+	if n != 5 {
+		t.Fatalf("after resume: n = %d, want 5", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	n := 0
+	k.At(10, func() { n++ })
+	k.At(20, func() { n++ })
+	k.At(30, func() { n++ })
+	k.RunUntil(20)
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20", k.Now())
+	}
+	k.Run()
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+}
+
+func TestWatchdogPanics(t *testing.T) {
+	k := New()
+	k.SetDeadline(100)
+	var tick func()
+	tick = func() { k.After(10, tick) } // endless self-rescheduling
+	k.At(0, tick)
+	defer func() {
+		if recover() == nil {
+			t.Error("watchdog did not panic")
+		}
+	}()
+	k.Run()
+}
+
+// Property: regardless of insertion order, events fire in nondecreasing
+// tick order, with ties broken by insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		k := New()
+		type fired struct {
+			tick uint64
+			id   int
+		}
+		var log []fired
+		for i, r := range raw {
+			tick := uint64(r % 97)
+			id := i
+			k.At(tick, func() { log = append(log, fired{tick, id}) })
+		}
+		k.Run()
+		if len(log) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(log); i++ {
+			if log[i].tick < log[i-1].tick {
+				return false
+			}
+			if log[i].tick == log[i-1].tick && log[i].id < log[i-1].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		k := New()
+		rng := rand.New(rand.NewSource(42))
+		var log []uint64
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 4 {
+				return
+			}
+			k.After(uint64(rng.Intn(50)), func() {
+				log = append(log, k.Now())
+				spawn(depth + 1)
+				spawn(depth + 1)
+			})
+		}
+		k.At(0, func() { spawn(0) })
+		k.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package sim
+
+import "fmt"
+
+// Proc is a cooperative simulation process. A Proc runs on its own
+// goroutine, but the kernel hands control to exactly one goroutine at a
+// time, so process bodies may touch shared simulator state without locks
+// and the interleaving is deterministic.
+//
+// A process body blocks simulated time only through the Proc methods
+// (Sleep, Wait, Yield); ordinary Go computation takes zero simulated time.
+type Proc struct {
+	k        *Kernel
+	name     string
+	resume   chan struct{} // kernel -> proc: you may run
+	parked   chan struct{} // proc -> kernel: I yielded or finished
+	started  bool
+	finished bool
+	aborted  bool
+	wakes    uint64 // diagnostic: number of times resumed
+}
+
+// procAbort is the panic value used to unwind an abandoned process.
+type procAbort struct{}
+
+// Go spawns a process that starts executing at the current tick.
+// The body runs until it returns; the kernel regains control whenever the
+// body blocks on a Proc method.
+func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	k.After(0, func() {
+		p.started = true
+		go p.run(body)
+		p.dispatch()
+	})
+	return p
+}
+
+func (p *Proc) run(body func(p *Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procAbort); ok {
+				p.finished = true
+				p.k.live--
+				p.parked <- struct{}{}
+				return
+			}
+			panic(r)
+		}
+	}()
+	<-p.resume
+	body(p)
+	p.finished = true
+	p.k.live--
+	p.parked <- struct{}{}
+}
+
+// dispatch transfers control from the kernel goroutine to the process and
+// waits until the process yields or finishes.
+func (p *Proc) dispatch() {
+	if p.finished {
+		return
+	}
+	p.wakes++
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// yield parks the process and returns control to the kernel goroutine.
+// The process stays parked until some event calls dispatch again.
+func (p *Proc) yield() {
+	p.parked <- struct{}{}
+	<-p.resume
+	if p.aborted {
+		panic(procAbort{})
+	}
+}
+
+// abort unwinds a parked process so its goroutine exits. Kernel-side only.
+func (p *Proc) abort() {
+	if p.finished || !p.started {
+		return
+	}
+	p.aborted = true
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// Name reports the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current simulated tick.
+func (p *Proc) Now() uint64 { return p.k.now }
+
+// Finished reports whether the body has returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+// Sleep advances this process d ticks of simulated time.
+// Sleep(0) is a pure yield point: other events at the current tick run
+// before the process continues.
+func (p *Proc) Sleep(d uint64) {
+	p.k.After(d, p.dispatch)
+	p.yield()
+}
+
+// Wait parks the process until wake() is called on the returned handle.
+// The wake may come from any event (device callback, another process).
+// Waking schedules the resumption at the waker's current tick.
+func (p *Proc) waitPoint() func() {
+	fired := false
+	return func() {
+		if fired {
+			return
+		}
+		fired = true
+		p.k.After(0, p.dispatch)
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Proc) String() string {
+	state := "parked"
+	if p.finished {
+		state = "finished"
+	}
+	return fmt.Sprintf("proc(%s, %s, wakes=%d)", p.name, state, p.wakes)
+}
+
+// Signal is a broadcast wake-up point. Processes park on it with Wait;
+// Fire wakes every parked process (resumptions are scheduled at the firing
+// tick and dispatched in FIFO order). A Signal may be reused indefinitely.
+type Signal struct {
+	name    string
+	waiters []func()
+	fires   uint64
+}
+
+// NewSignal returns a named signal for diagnostics.
+func NewSignal(name string) *Signal { return &Signal{name: name} }
+
+// Wait parks p until the next Fire.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p.waitPoint())
+	p.yield()
+}
+
+// Fire wakes all currently parked processes. Processes that Wait after
+// Fire returns park until the next Fire.
+func (s *Signal) Fire() {
+	w := s.waiters
+	s.waiters = nil
+	s.fires++
+	for _, wake := range w {
+		wake()
+	}
+}
+
+// Waiters reports how many processes are currently parked.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// Fires reports how many times Fire has been called.
+func (s *Signal) Fires() uint64 { return s.fires }
+
+// WaitUntil parks p, re-checking cond each time sig fires, until cond
+// reports true. cond is checked once before parking.
+func WaitUntil(p *Proc, sig *Signal, cond func() bool) {
+	for !cond() {
+		sig.Wait(p)
+	}
+}
+
+// WaitAny parks p until any of the given signals fires. A signal that
+// fires later finds a spent wake handle and ignores it.
+func WaitAny(p *Proc, sigs ...*Signal) {
+	wake := p.waitPoint()
+	for _, s := range sigs {
+		s.waiters = append(s.waiters, wake)
+	}
+	p.yield()
+}

@@ -1,0 +1,274 @@
+package sim
+
+import "testing"
+
+func TestProcSleep(t *testing.T) {
+	k := New()
+	var wake []uint64
+	k.Go("a", func(p *Proc) {
+		p.Sleep(10)
+		wake = append(wake, p.Now())
+		p.Sleep(5)
+		wake = append(wake, p.Now())
+	})
+	k.Run()
+	if len(wake) != 2 || wake[0] != 10 || wake[1] != 15 {
+		t.Fatalf("wake = %v, want [10 15]", wake)
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestProcInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		k := New()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			k.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(2)
+					log = append(log, name)
+				}
+			})
+		}
+		k.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != 9 || len(b) != 9 {
+		t.Fatalf("lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic interleaving at %d: %v vs %v", i, a, b)
+		}
+	}
+	// Same-tick wakes dispatch in spawn order.
+	want := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("log = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestSignalWakesAllWaiters(t *testing.T) {
+	k := New()
+	sig := NewSignal("s")
+	woke := 0
+	for i := 0; i < 3; i++ {
+		k.Go("w", func(p *Proc) {
+			sig.Wait(p)
+			woke++
+			if p.Now() != 50 {
+				t.Errorf("woke at %d, want 50", p.Now())
+			}
+		})
+	}
+	k.At(50, func() { sig.Fire() })
+	k.Run()
+	if woke != 3 {
+		t.Fatalf("woke = %d, want 3", woke)
+	}
+	if sig.Waiters() != 0 {
+		t.Fatalf("Waiters = %d, want 0", sig.Waiters())
+	}
+}
+
+func TestSignalReusable(t *testing.T) {
+	k := New()
+	sig := NewSignal("s")
+	var wakes []uint64
+	k.Go("w", func(p *Proc) {
+		sig.Wait(p)
+		wakes = append(wakes, p.Now())
+		sig.Wait(p)
+		wakes = append(wakes, p.Now())
+	})
+	k.At(10, sig.Fire)
+	k.At(20, sig.Fire)
+	k.Run()
+	if len(wakes) != 2 || wakes[0] != 10 || wakes[1] != 20 {
+		t.Fatalf("wakes = %v, want [10 20]", wakes)
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	k := New()
+	sig := NewSignal("cond")
+	val := 0
+	done := uint64(0)
+	k.Go("w", func(p *Proc) {
+		WaitUntil(p, sig, func() bool { return val >= 3 })
+		done = p.Now()
+	})
+	for i := 1; i <= 5; i++ {
+		i := i
+		k.At(uint64(i*10), func() { val = i; sig.Fire() })
+	}
+	k.Run()
+	if done != 30 {
+		t.Fatalf("done at %d, want 30", done)
+	}
+}
+
+func TestWaitUntilAlreadyTrue(t *testing.T) {
+	k := New()
+	sig := NewSignal("cond")
+	ran := false
+	k.Go("w", func(p *Proc) {
+		WaitUntil(p, sig, func() bool { return true })
+		ran = true
+	})
+	k.Run()
+	if !ran {
+		t.Fatal("WaitUntil with true condition parked forever")
+	}
+}
+
+func TestProcsCommunicate(t *testing.T) {
+	k := New()
+	sig := NewSignal("hand")
+	var order []string
+	k.Go("producer", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "produce")
+		sig.Fire()
+	})
+	k.Go("consumer", func(p *Proc) {
+		sig.Wait(p)
+		order = append(order, "consume")
+	})
+	k.Run()
+	if len(order) != 2 || order[0] != "produce" || order[1] != "consume" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDrainReleasesParkedProcs(t *testing.T) {
+	k := New()
+	sig := NewSignal("never")
+	k.Go("stuck", func(p *Proc) { sig.Wait(p) })
+	k.RunUntil(100)
+	if k.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs = %d, want 1", k.LiveProcs())
+	}
+	k.Drain()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("after Drain: LiveProcs = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	k := New()
+	var order []string
+	k.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	k.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	k.Run()
+	// a starts first (spawn order), yields at the same tick, b runs, then a resumes.
+	want := []string{"a1", "b1", "a2"}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitAnyFirstSignalWins(t *testing.T) {
+	k := New()
+	a, b := NewSignal("a"), NewSignal("b")
+	var woke uint64
+	k.Go("w", func(p *Proc) {
+		WaitAny(p, a, b)
+		woke = p.Now()
+	})
+	k.At(30, b.Fire)
+	k.At(60, a.Fire)
+	k.Run()
+	if woke != 30 {
+		t.Fatalf("woke at %d, want 30 (first signal)", woke)
+	}
+}
+
+func TestWaitAnySpentHandleIgnored(t *testing.T) {
+	k := New()
+	a, b := NewSignal("a"), NewSignal("b")
+	wakes := 0
+	k.Go("w", func(p *Proc) {
+		WaitAny(p, a, b)
+		wakes++
+		// Park again on a fresh handle; the later fire of the other
+		// signal must not double-wake.
+		WaitAny(p, a, b)
+		wakes++
+	})
+	k.At(10, a.Fire)
+	k.At(20, b.Fire) // consumes both the stale handle and the new one
+	k.At(30, a.Fire)
+	k.Run()
+	if wakes != 2 {
+		t.Fatalf("wakes = %d, want 2", wakes)
+	}
+}
+
+func TestWaitAnySameSignalTwice(t *testing.T) {
+	k := New()
+	a := NewSignal("a")
+	done := false
+	k.Go("w", func(p *Proc) {
+		WaitAny(p, a, a) // degenerate but legal
+		done = true
+	})
+	k.At(5, a.Fire)
+	k.Run()
+	if !done {
+		t.Fatal("WaitAny(a, a) never woke")
+	}
+}
+
+func TestManyProcsStress(t *testing.T) {
+	k := New()
+	k.SetDeadline(1 << 24)
+	const procs, steps = 64, 50
+	total := 0
+	for i := 0; i < procs; i++ {
+		i := i
+		k.Go("p", func(p *Proc) {
+			for s := 0; s < steps; s++ {
+				p.Sleep(uint64(1 + (i+s)%7))
+			}
+			total++
+		})
+	}
+	k.Run()
+	if total != procs {
+		t.Fatalf("finished = %d", total)
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live = %d", k.LiveProcs())
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	k := New()
+	k.At(1, func() {})
+	k.At(2, func() {})
+	k.Run()
+	if k.Executed() != 2 {
+		t.Fatalf("executed = %d", k.Executed())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+}

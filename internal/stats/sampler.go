@@ -1,0 +1,188 @@
+// Package stats provides windowed time-series sampling of a running
+// system: the overview view of §4.2's Figure 7 ("two phases: when the
+// consumer runs faster at the beginning, transactions happen in a
+// stable fashion ... after about 50 000 ns the producer generates a
+// burst and the consumer becomes the bottleneck") generalized to any
+// run. A Sampler snapshots the device and bus counters on a fixed
+// period and reports per-window rates, from which phase changes are
+// visible.
+package stats
+
+import (
+	"fmt"
+	"io"
+
+	"spamer"
+	"spamer/internal/noc"
+	"spamer/internal/vl"
+)
+
+// Window is one sampling interval's deltas.
+type Window struct {
+	StartTick uint64
+	EndTick   uint64
+
+	Pushes      uint64 // stashes issued (demand + speculative)
+	Failures    uint64 // stashes that missed
+	Fetches     uint64 // consumer requests processed
+	BusBusy     uint64 // busy channel-cycles
+	MessagesIn  uint64 // library-level pushes
+	MessagesOut uint64 // library-level pops
+}
+
+// Rate returns events per kilocycle for a counter value in this window.
+func (w Window) Rate(count uint64) float64 {
+	d := w.EndTick - w.StartTick
+	if d == 0 {
+		return 0
+	}
+	return float64(count) / float64(d) * 1000
+}
+
+// FailureRate is failed/issued pushes within the window.
+func (w Window) FailureRate() float64 {
+	if w.Pushes == 0 {
+		return 0
+	}
+	return float64(w.Failures) / float64(w.Pushes)
+}
+
+// Sampler periodically snapshots a system's counters. Attach before
+// Run; windows accumulate until the simulation drains.
+type Sampler struct {
+	sys    *spamer.System
+	period uint64
+
+	windows []Window
+
+	prevDev vl.Stats
+	prevBus noc.Stats
+	prevIn  uint64
+	prevOut uint64
+	lastT   uint64
+}
+
+// Attach installs a sampler with the given period in cycles. It must be
+// called before System.Run.
+func Attach(sys *spamer.System, period uint64) *Sampler {
+	if period == 0 {
+		period = 4096
+	}
+	s := &Sampler{sys: sys, period: period}
+	var tick func()
+	tick = func() {
+		s.snapshot()
+		if sys.Kernel().LiveProcs() > 0 {
+			sys.Kernel().After(period, tick)
+		}
+	}
+	sys.Kernel().After(period, tick)
+	return s
+}
+
+func (s *Sampler) snapshot() {
+	now := s.sys.Kernel().Now()
+	dev := aggregateDevs(s.sys)
+	bus := s.sys.Bus().Stats()
+	var in, out uint64
+	for _, q := range s.sys.Queues() {
+		in += q.Pushed()
+		out += q.Popped()
+	}
+	s.windows = append(s.windows, Window{
+		StartTick:   s.lastT,
+		EndTick:     now,
+		Pushes:      dev.TotalPushes() - s.prevDev.TotalPushes(),
+		Failures:    dev.FailedPushes() - s.prevDev.FailedPushes(),
+		Fetches:     dev.Fetches - s.prevDev.Fetches,
+		BusBusy:     bus.BusyCycles - s.prevBus.BusyCycles,
+		MessagesIn:  in - s.prevIn,
+		MessagesOut: out - s.prevOut,
+	})
+	s.prevDev, s.prevBus, s.prevIn, s.prevOut, s.lastT = dev, bus, in, out, now
+}
+
+func aggregateDevs(sys *spamer.System) vl.Stats {
+	var agg vl.Stats
+	for _, d := range sys.Devices() {
+		st := d.Stats()
+		agg.PushAccepts += st.PushAccepts
+		agg.PushNACKs += st.PushNACKs
+		agg.Fetches += st.Fetches
+		agg.FetchNACKs += st.FetchNACKs
+		agg.Registers += st.Registers
+		agg.DemandPushes += st.DemandPushes
+		agg.DemandHits += st.DemandHits
+		agg.DemandMisses += st.DemandMisses
+		agg.SpecScheduled += st.SpecScheduled
+		agg.SpecPushes += st.SpecPushes
+		agg.SpecHits += st.SpecHits
+		agg.SpecMisses += st.SpecMisses
+	}
+	return agg
+}
+
+// Windows returns the collected windows.
+func (s *Sampler) Windows() []Window {
+	out := make([]Window, len(s.windows))
+	copy(out, s.windows)
+	return out
+}
+
+// Phases segments the run greedily by throughput: consecutive windows
+// whose message-out rate differs by less than tol (relative) merge into
+// one phase. This recovers the "two phases" structure of Figure 7's
+// overview chart.
+type Phase struct {
+	StartTick uint64
+	EndTick   uint64
+	Rate      float64 // messages out per kilocycle, averaged
+}
+
+// Phases segments with the given relative tolerance (e.g. 0.35).
+func (s *Sampler) Phases(tol float64) []Phase {
+	if tol <= 0 {
+		tol = 0.35
+	}
+	var phases []Phase
+	for _, w := range s.windows {
+		r := w.Rate(w.MessagesOut)
+		n := len(phases)
+		if n > 0 {
+			p := &phases[n-1]
+			ref := p.Rate
+			if ref == 0 && r == 0 || (ref > 0 && abs(r-ref)/ref <= tol) {
+				// Extend the phase with a duration-weighted rate.
+				dOld := float64(p.EndTick - p.StartTick)
+				dNew := float64(w.EndTick - w.StartTick)
+				p.Rate = (p.Rate*dOld + r*dNew) / (dOld + dNew)
+				p.EndTick = w.EndTick
+				continue
+			}
+		}
+		phases = append(phases, Phase{StartTick: w.StartTick, EndTick: w.EndTick, Rate: r})
+	}
+	return phases
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// WriteCSV dumps windows for external plotting.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "start,end,pushes,failures,fetches,busbusy,msgs_in,msgs_out"); err != nil {
+		return err
+	}
+	for _, win := range s.windows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d\n",
+			win.StartTick, win.EndTick, win.Pushes, win.Failures, win.Fetches,
+			win.BusBusy, win.MessagesIn, win.MessagesOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"spamer"
+	"spamer/internal/workloads"
+)
+
+// buildTwoPhase builds a 1:1 stream whose producer switches from slow
+// to fast halfway — the Figure 7 overview structure.
+func buildTwoPhase(sys *spamer.System) {
+	q := sys.NewQueue("q")
+	const n = 600
+	sys.Spawn("producer", func(t *spamer.Thread) {
+		pr := q.NewProducer(0)
+		for i := 0; i < n; i++ {
+			if i < n/2 {
+				t.Compute(200) // slow phase: producer-bound
+			} else {
+				t.Compute(10) // fast phase: consumer-bound
+			}
+			pr.Push(t.Proc, uint64(i))
+		}
+	})
+	sys.Spawn("consumer", func(t *spamer.Thread) {
+		c := q.NewConsumer(t.Proc, 4)
+		for i := 0; i < n; i++ {
+			c.Pop(t.Proc)
+			t.Compute(60)
+		}
+	})
+}
+
+func TestSamplerWindowsCoverRun(t *testing.T) {
+	sys := spamer.NewSystem(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 32})
+	buildTwoPhase(sys)
+	s := Attach(sys, 2048)
+	res := sys.Run()
+	ws := s.Windows()
+	if len(ws) < 4 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	var in, out uint64
+	prevEnd := uint64(0)
+	for _, w := range ws {
+		if w.StartTick != prevEnd {
+			t.Fatalf("window gap: %d..%d after end %d", w.StartTick, w.EndTick, prevEnd)
+		}
+		prevEnd = w.EndTick
+		in += w.MessagesIn
+		out += w.MessagesOut
+	}
+	// Windows must account for every message up to the last sample.
+	if in > res.Pushed || out > res.Popped {
+		t.Fatalf("window sums exceed totals: %d/%d vs %d/%d", in, out, res.Pushed, res.Popped)
+	}
+	if in < res.Pushed*9/10 {
+		t.Fatalf("windows cover only %d of %d pushes", in, res.Pushed)
+	}
+}
+
+func TestSamplerDetectsPhases(t *testing.T) {
+	sys := spamer.NewSystem(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 32})
+	buildTwoPhase(sys)
+	s := Attach(sys, 2048)
+	sys.Run()
+	phases := s.Phases(0.35)
+	if len(phases) < 2 {
+		t.Fatalf("phases = %d, want >= 2 (slow then fast)", len(phases))
+	}
+	// Some later phase must be clearly faster than the first (the tail
+	// phase can be a low-rate drain, so compare against the maximum).
+	first := phases[0]
+	maxRate := 0.0
+	for _, p := range phases[1:] {
+		if p.Rate > maxRate {
+			maxRate = p.Rate
+		}
+	}
+	if maxRate <= first.Rate*1.5 {
+		t.Fatalf("no clear fast phase: first %.3f, max later %.3f", first.Rate, maxRate)
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	w := Window{StartTick: 0, EndTick: 2000, Pushes: 10, Failures: 5}
+	if got := w.Rate(w.Pushes); got != 5 {
+		t.Fatalf("rate = %v", got)
+	}
+	if got := w.FailureRate(); got != 0.5 {
+		t.Fatalf("failure rate = %v", got)
+	}
+	if (Window{}).FailureRate() != 0 {
+		t.Fatal("zero-window failure rate")
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	sys := spamer.NewSystem(spamer.Config{Deadline: 1 << 32})
+	w, _ := workloads.ByName("firewall")
+	w.Build(sys, 1)
+	s := Attach(sys, 8192)
+	sys.Run()
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "start,end,") {
+		t.Fatalf("csv header: %q", sb.String()[:20])
+	}
+	if strings.Count(sb.String(), "\n") < 3 {
+		t.Fatalf("csv too short:\n%s", sb.String())
+	}
+}

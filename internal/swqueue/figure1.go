@@ -1,0 +1,103 @@
+package swqueue
+
+import (
+	"spamer"
+	"spamer/internal/mem"
+	"spamer/internal/noc"
+	"spamer/internal/sim"
+)
+
+// Figure1Result is the cross-core message latency comparison of the
+// paper's Figure 1: the mean push-to-first-use latency (in cycles,
+// consumer busy time excluded) of a closed-loop 1:1 transfer under the
+// coherence-based software queue (Lc), Virtual-Link (Lv), and SPAMeR
+// (Ls). The claim to reproduce is the strict ordering Lc > Lv > Ls.
+//
+// Protocol per message (one in flight at a time, synchronized by
+// out-of-band harness signals so queue-depth effects cannot mask
+// mechanism latency): the producer stamps and pushes, the consumer works
+// for a fixed busy period while the message travels, then turns to the
+// queue. Under Virtual-Link the turn costs a request round trip; under
+// SPAMeR the data is already in the consumer's line; under the coherent
+// software queue the turn ping-pongs the shared control and data lines.
+type Figure1Result struct {
+	Lc, Lv, Ls float64
+	Messages   int
+}
+
+const (
+	fig1Messages = 300
+	fig1BusyWork = 100 // consumer busy period while the message travels
+)
+
+// RunFigure1 measures all three mechanisms.
+func RunFigure1() Figure1Result {
+	return Figure1Result{
+		Lc:       measureCoherent(),
+		Lv:       measureHW(spamer.AlgBaseline),
+		Ls:       measureHW(spamer.AlgZeroDelay),
+		Messages: fig1Messages,
+	}
+}
+
+func measureCoherent() float64 {
+	k := sim.New()
+	k.SetDeadline(1 << 34)
+	bus := noc.New(k)
+	q := NewCoherentQueue(k, bus, 8)
+	sent := sim.NewSignal("fig1.sent")
+	acked := sim.NewSignal("fig1.acked")
+	turn := 0 // 0: producer may send; 1: consumer may pop
+	var total uint64
+	k.Go("producer", func(p *sim.Proc) {
+		for i := 0; i < fig1Messages; i++ {
+			q.Push(p, 0, mem.Message{Seq: uint64(i), Payload: p.Now()})
+			turn = 1
+			sent.Fire()
+			sim.WaitUntil(p, acked, func() bool { return turn == 0 })
+		}
+	})
+	k.Go("consumer", func(p *sim.Proc) {
+		for i := 0; i < fig1Messages; i++ {
+			sim.WaitUntil(p, sent, func() bool { return turn == 1 })
+			p.Sleep(fig1BusyWork)
+			m := q.Pop(p, 1)
+			total += p.Now() - m.Payload - fig1BusyWork
+			turn = 0
+			acked.Fire()
+		}
+	})
+	k.Run()
+	return float64(total) / fig1Messages
+}
+
+func measureHW(alg string) float64 {
+	sys := spamer.NewSystem(spamer.Config{Algorithm: alg, Deadline: 1 << 34})
+	q := sys.NewQueue("fig1")
+	sent := sim.NewSignal("fig1.sent")
+	acked := sim.NewSignal("fig1.acked")
+	turn := 0
+	var total uint64
+	sys.Spawn("producer", func(t *spamer.Thread) {
+		pr := q.NewProducer(1)
+		for i := 0; i < fig1Messages; i++ {
+			pr.Push(t.Proc, t.Now())
+			turn = 1
+			sent.Fire()
+			sim.WaitUntil(t.Proc, acked, func() bool { return turn == 0 })
+		}
+	})
+	sys.Spawn("consumer", func(t *spamer.Thread) {
+		c := q.NewConsumer(t.Proc, 2)
+		for i := 0; i < fig1Messages; i++ {
+			sim.WaitUntil(t.Proc, sent, func() bool { return turn == 1 })
+			t.Compute(fig1BusyWork)
+			m := c.Pop(t.Proc)
+			total += t.Now() - m.Payload - fig1BusyWork
+			turn = 0
+			acked.Fire()
+		}
+	})
+	sys.Run()
+	return float64(total) / fig1Messages
+}

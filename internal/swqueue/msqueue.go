@@ -1,0 +1,87 @@
+// Package swqueue provides the software message-queue baselines the
+// paper positions SPAMeR against (§5): the Michael–Scott lock-free
+// queue, a bounded MPMC ring, and a cycle-modelled coherence-based
+// software queue used for the Figure 1 latency comparison
+// (Lc: coherence queue > Lv: Virtual-Link > Ls: SPAMeR).
+//
+// The Michael–Scott queue and the ring are real concurrent data
+// structures (usable from goroutines); the coherence queue is a
+// simulator model whose cost structure follows the MOESI snoop/
+// invalidation flow of Figure 1a.
+package swqueue
+
+import "sync/atomic"
+
+// node is one Michael–Scott queue cell.
+type node[T any] struct {
+	value T
+	next  atomic.Pointer[node[T]]
+}
+
+// MSQueue is the classic Michael & Scott non-blocking FIFO queue [31]:
+// unbounded, multi-producer, multi-consumer, lock-free.
+type MSQueue[T any] struct {
+	head atomic.Pointer[node[T]]
+	tail atomic.Pointer[node[T]]
+}
+
+// NewMSQueue returns an empty queue.
+func NewMSQueue[T any]() *MSQueue[T] {
+	q := &MSQueue[T]{}
+	sentinel := &node[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enqueue appends v. Lock-free: concurrent enqueuers help each other
+// swing the tail.
+func (q *MSQueue[T]) Enqueue(v T) {
+	n := &node[T]{value: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Tail lagging: help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes the oldest element, reporting ok=false on empty.
+func (q *MSQueue[T]) Dequeue() (v T, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return v, false // empty
+		}
+		if head == tail {
+			// Tail lagging behind a concurrent enqueue: help.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		value := next.value
+		if q.head.CompareAndSwap(head, next) {
+			return value, true
+		}
+	}
+}
+
+// Empty reports whether the queue appeared empty at the check.
+func (q *MSQueue[T]) Empty() bool {
+	head := q.head.Load()
+	return head.next.Load() == nil
+}

@@ -1,0 +1,88 @@
+package swqueue
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ring is a bounded multi-producer multi-consumer FIFO built on a
+// sequence-stamped circular buffer (Vyukov-style). It is the software
+// analogue of a fixed-capacity hardware queue: producers spin when full,
+// consumers when empty — precisely the backpressure behaviour hardware
+// queues give for free.
+type Ring[T any] struct {
+	mask  uint64
+	cells []ringCell[T]
+	head  atomic.Uint64 // consumer cursor
+	tail  atomic.Uint64 // producer cursor
+}
+
+type ringCell[T any] struct {
+	seq   atomic.Uint64
+	value T
+}
+
+// NewRing returns a ring with the given power-of-two capacity.
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("swqueue: ring capacity %d not a power of two", capacity))
+	}
+	r := &Ring[T]{mask: uint64(capacity - 1), cells: make([]ringCell[T], capacity)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// TryEnqueue appends v unless the ring is full.
+func (r *Ring[T]) TryEnqueue(v T) bool {
+	for {
+		tail := r.tail.Load()
+		cell := &r.cells[tail&r.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == tail:
+			if r.tail.CompareAndSwap(tail, tail+1) {
+				cell.value = v
+				cell.seq.Store(tail + 1)
+				return true
+			}
+		case seq < tail:
+			return false // full
+		}
+	}
+}
+
+// TryDequeue removes the oldest element unless the ring is empty.
+func (r *Ring[T]) TryDequeue() (v T, ok bool) {
+	for {
+		head := r.head.Load()
+		cell := &r.cells[head&r.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == head+1:
+			if r.head.CompareAndSwap(head, head+1) {
+				v = cell.value
+				cell.seq.Store(head + r.mask + 1)
+				return v, true
+			}
+		case seq <= head:
+			return v, false // empty
+		}
+	}
+}
+
+// Len approximates the current occupancy.
+func (r *Ring[T]) Len() int {
+	d := int64(r.tail.Load()) - int64(r.head.Load())
+	if d < 0 {
+		d = 0
+	}
+	if d > int64(len(r.cells)) {
+		d = int64(len(r.cells))
+	}
+	return int(d)
+}
+
+// Cap returns the capacity.
+func (r *Ring[T]) Cap() int { return len(r.cells) }

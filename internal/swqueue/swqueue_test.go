@@ -1,0 +1,264 @@
+package swqueue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSQueueFIFOSequential(t *testing.T) {
+	q := NewMSQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = %d, %v", i, v, ok)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+// Property: any interleaving of enqueues and dequeues behaves like a
+// reference slice-backed FIFO.
+func TestMSQueueModelProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		q := NewMSQueue[int16]()
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				q.Enqueue(op)
+				model = append(model, op)
+			} else {
+				v, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		for len(model) > 0 {
+			v, ok := q.Dequeue()
+			if !ok || v != model[0] {
+				return false
+			}
+			model = model[1:]
+		}
+		_, ok := q.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMSQueueConcurrent: N producers, M consumers; every element
+// delivered exactly once and per-producer FIFO holds.
+func TestMSQueueConcurrent(t *testing.T) {
+	const producers, consumers, perProd = 4, 4, 500
+	q := NewMSQueue[[2]int]()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Enqueue([2]int{p, i})
+			}
+		}()
+	}
+	results := make(chan [2]int, producers*perProd)
+	var cg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				if v, ok := q.Dequeue(); ok {
+					results <- v
+					continue
+				}
+				runtime.Gosched()
+				select {
+				case <-done:
+					// Final drain after producers finished.
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							return
+						}
+						results <- v
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+	close(results)
+	seen := map[[2]int]int{}
+	for v := range results {
+		seen[v]++
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("distinct = %d, want %d", len(seen), producers*perProd)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("element %v seen %d times", k, n)
+		}
+	}
+}
+
+func TestRingCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two capacity accepted")
+		}
+	}()
+	NewRing[int](12)
+}
+
+func TestRingFIFOAndBounds(t *testing.T) {
+	r := NewRing[int](8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		if !r.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if r.TryEnqueue(99) {
+		t.Fatal("enqueue on full succeeded")
+	}
+	if r.Len() != 8 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = %d, %v", i, v, ok)
+		}
+	}
+}
+
+// Property: the ring matches a bounded reference FIFO.
+func TestRingModelProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		r := NewRing[int16](16)
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				got := r.TryEnqueue(op)
+				want := len(model) < 16
+				if got != want {
+					return false
+				}
+				if want {
+					model = append(model, op)
+				}
+			} else {
+				v, ok := r.TryDequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	const producers, perProd = 4, 1000
+	r := NewRing[[2]int](64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				for !r.TryEnqueue([2]int{p, i}) {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	seen := map[[2]int]int{}
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	remaining := make(chan struct{})
+	for c := 0; c < 2; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				if v, ok := r.TryDequeue(); ok {
+					mu.Lock()
+					seen[v]++
+					mu.Unlock()
+					continue
+				}
+				runtime.Gosched()
+				select {
+				case <-remaining:
+					for {
+						v, ok := r.TryDequeue()
+						if !ok {
+							return
+						}
+						mu.Lock()
+						seen[v]++
+						mu.Unlock()
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(remaining)
+	cg.Wait()
+	if len(seen) != producers*perProd {
+		t.Fatalf("distinct = %d, want %d", len(seen), producers*perProd)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("element %v seen %d times", k, n)
+		}
+	}
+	// Per-producer FIFO cannot be asserted across two consumers without
+	// per-consumer logs; the exactly-once check above is the invariant
+	// the ring guarantees globally.
+}

@@ -1,0 +1,95 @@
+package tuner
+
+import (
+	"testing"
+
+	"spamer/internal/config"
+)
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := NewSearch("nope", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestNeighboursMutateEveryParameter(t *testing.T) {
+	p := config.DefaultTuned()
+	nb := neighbours(p)
+	if len(nb) < 8 {
+		t.Fatalf("neighbours = %d", len(nb))
+	}
+	varied := map[string]bool{}
+	for _, q := range nb {
+		if q == p {
+			t.Fatalf("neighbour equals origin: %v", q)
+		}
+		if q.Zeta != p.Zeta {
+			varied["zeta"] = true
+		}
+		if q.Tau != p.Tau {
+			varied["tau"] = true
+		}
+		if q.Delta != p.Delta {
+			varied["delta"] = true
+		}
+		if q.Alpha != p.Alpha {
+			varied["alpha"] = true
+		}
+		if q.Beta != p.Beta {
+			varied["beta"] = true
+		}
+	}
+	for _, k := range []string{"zeta", "tau", "delta", "alpha", "beta"} {
+		if !varied[k] {
+			t.Errorf("no neighbour varies %s", k)
+		}
+	}
+}
+
+func TestNeighboursFloorParameters(t *testing.T) {
+	p := config.TunedParams{Zeta: 8, Tau: 8, Delta: 8, Alpha: 1, Beta: 1}
+	for _, q := range neighbours(p) {
+		if q.Zeta < 8 || q.Tau < 8 || q.Delta < 8 || q.Alpha < 1 || q.Beta < 1 {
+			t.Fatalf("neighbour under floor: %v", q)
+		}
+	}
+}
+
+// TestSearchImprovesOrHolds: coordinate descent never makes the score
+// worse than the published starting point, converges within the round
+// budget, and caches repeated evaluations.
+func TestSearchImprovesOrHolds(t *testing.T) {
+	s, err := NewSearch("firewall", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MaxRounds = 2 // keep the test quick
+	res := s.Run()
+	if res.Best.Score > res.Start.Score+1e-9 {
+		t.Fatalf("search regressed: start %.4f best %.4f", res.Start.Score, res.Best.Score)
+	}
+	if res.Improvement < 1.0 {
+		t.Fatalf("improvement = %v", res.Improvement)
+	}
+	if res.Evals == 0 || res.Evals != s.Evals() {
+		t.Fatalf("evals accounting: %d vs %d", res.Evals, s.Evals())
+	}
+	// Determinism: the same search rerun gives the same best.
+	s2, _ := NewSearch("firewall", 1)
+	s2.MaxRounds = 2
+	res2 := s2.Run()
+	if res2.Best.Params != res.Best.Params || res2.Best.Ticks != res.Best.Ticks {
+		t.Fatalf("nondeterministic search: %+v vs %+v", res.Best, res2.Best)
+	}
+}
+
+func TestObjectiveScore(t *testing.T) {
+	o := DefaultObjective()
+	if got := o.score(3, 4); got != 5 {
+		t.Fatalf("score = %v", got)
+	}
+	weighted := Objective{DelayWeight: 4, EnergyWeight: 0}
+	if got := weighted.score(3, 100); got != 6 {
+		t.Fatalf("weighted score = %v", got)
+	}
+}

@@ -1,0 +1,469 @@
+// Package vlq is the software queue library of §3.4: the user-level API
+// through which application threads create endpoints and move messages,
+// layered over the ISA operations and the routing device.
+//
+// The library reproduces the paper's software behaviours:
+//
+//   - Consumer endpoints are created spec-push-enabled by default under
+//     SPAMeR — the library issues spamer_register for the endpoint's
+//     lines before returning it — with a legacy option for
+//     non-speculative endpoints.
+//   - The dequeue function of spec-enabled endpoints omits
+//     vl_select/vl_fetch entirely ("eliminating the part of the code
+//     issuing vl_select and vl_fetch at compile time").
+//   - Demand (VL) endpoints issue vl_select+vl_fetch on every pop,
+//     unconditionally — even when the target line already holds data.
+//     This is the "prerequest" behaviour observed in §4.2: a request can
+//     arrive at the routing device before the line actually vacates,
+//     acting as an unguided prefetch (and occasionally causing push
+//     failures, Figure 10a's halo column).
+//   - Queue functions charge a per-call overhead; the Inlined knob
+//     switches between function-call and macro-inlined costs (§3.4's
+//     1.02x experiment).
+package vlq
+
+import (
+	"fmt"
+
+	"spamer/internal/config"
+	"spamer/internal/isa"
+	"spamer/internal/mem"
+	"spamer/internal/sim"
+	"spamer/internal/vl"
+)
+
+// Limits bounds a process's routing-device resource usage — the §3.6
+// DoS mitigation: "SPAMeR allocates or frees resources via system calls
+// similar to memory management ... DoS can be mitigated by setting
+// limits (e.g., ulimit for soft limits ...)". Zero values mean
+// unlimited.
+type Limits struct {
+	// MaxQueues bounds SQIs created through this library instance.
+	MaxQueues int
+	// MaxSpecLines bounds the total consumer lines this instance may
+	// register in specBuf; past it, new endpoints silently degrade to
+	// demand-driven rather than monopolizing the shared specBuf.
+	MaxSpecLines int
+}
+
+// Lib is one process's view of the queue library, bound to a routing
+// device.
+type Lib struct {
+	k   *sim.Kernel
+	as  *mem.AddressSpace
+	dev *vl.Device
+	isa *isa.ISA
+
+	// Inlined selects macro-inlined queue functions (§3.4). The harness
+	// enables it for both VL and SPAMeR runs "to show the benefits
+	// brought purely by speculation" (§4.3).
+	Inlined bool
+
+	// Limits is the §3.6 resource cap for this process; zero values
+	// are unlimited.
+	Limits Limits
+
+	specLines int
+	queues    []*Queue
+}
+
+// New returns a library instance over the given device.
+func New(k *sim.Kernel, as *mem.AddressSpace, dev *vl.Device, i *isa.ISA) *Lib {
+	return &Lib{k: k, as: as, dev: dev, isa: i}
+}
+
+func (l *Lib) overhead() uint64 {
+	if l.Inlined {
+		return config.InlineOverheadCycles
+	}
+	return config.CallOverheadCycles
+}
+
+// Queue is one M:N message channel: a Shared Queue Identifier plus its
+// subscribed endpoints.
+type Queue struct {
+	lib  *Lib
+	sqi  vl.SQI
+	name string
+
+	producers []*Producer
+	consumers []*Consumer
+
+	pushed uint64
+	popped uint64
+	closed bool
+}
+
+// NewQueue creates a queue (allocates an SQI). It panics when the
+// device's linkTab is exhausted or the process's queue limit (§3.6) is
+// reached — resource exhaustion at setup is a configuration error.
+func (l *Lib) NewQueue(name string) *Queue {
+	if l.Limits.MaxQueues > 0 && len(l.queues) >= l.Limits.MaxQueues {
+		panic(fmt.Sprintf("vlq: queue limit %d reached (§3.6 resource cap)", l.Limits.MaxQueues))
+	}
+	sqi, err := l.dev.AllocSQI()
+	if err != nil {
+		panic(fmt.Sprintf("vlq: %v", err))
+	}
+	q := &Queue{lib: l, sqi: sqi, name: name}
+	l.queues = append(l.queues, q)
+	return q
+}
+
+// Queues returns every queue created through this library instance.
+func (l *Lib) Queues() []*Queue { return l.queues }
+
+// SQI returns the queue's Shared Queue Identifier.
+func (q *Queue) SQI() vl.SQI { return q.sqi }
+
+// Name returns the queue's diagnostic name.
+func (q *Queue) Name() string { return q.name }
+
+// Pushed reports messages accepted from producers so far.
+func (q *Queue) Pushed() uint64 { return q.pushed }
+
+// Popped reports messages delivered to consumers so far.
+func (q *Queue) Popped() uint64 { return q.popped }
+
+// Consumers returns the queue's consumer endpoints.
+func (q *Queue) Consumers() []*Consumer { return q.consumers }
+
+// Close tears the queue down: it requires every accepted message to
+// have been consumed, flushes dangling prerequests, unregisters the
+// SQI's speculative targets, and returns the SQI to the device (the
+// system-call resource management of §3.6). Operations on a closed
+// queue panic.
+func (q *Queue) Close() error {
+	if q.closed {
+		return fmt.Errorf("vlq: %s already closed", q.name)
+	}
+	if q.pushed != q.popped {
+		return fmt.Errorf("vlq: %s not drained (%d pushed, %d popped)", q.name, q.pushed, q.popped)
+	}
+	if err := q.lib.dev.FreeSQI(q.sqi); err != nil {
+		return err
+	}
+	q.closed = true
+	return nil
+}
+
+// Closed reports whether Close succeeded.
+func (q *Queue) Closed() bool { return q.closed }
+
+// Producers returns the queue's producer endpoints.
+func (q *Queue) Producers() []*Producer { return q.producers }
+
+// ---------------------------------------------------------------------
+// Producer endpoint.
+// ---------------------------------------------------------------------
+
+// DefaultWindow is the per-producer bound on pushes in flight — the
+// producer's endpoint page acts as a ring of lines whose ownership
+// transfers to the routing device at vl_push accept (§3.1); the producer
+// reuses a line only after a previous transfer completed.
+const DefaultWindow = 4
+
+// Producer is a producer endpoint: a page of lines pushed to one SQI.
+type Producer struct {
+	q      *Queue
+	id     int
+	window int
+
+	outstanding int
+	credit      *sim.Signal
+	seq         uint64
+	snd         *isa.Sender
+
+	// OnAccept, if non-nil, observes every vl_push of this endpoint the
+	// routing device accepts (tick, message sequence). Used by the
+	// Figure 7 tracer as the "data arrive" event.
+	OnAccept func(tick uint64, seq uint64)
+}
+
+// NewProducer subscribes a producer endpoint to the queue. window bounds
+// in-flight pushes; 0 selects DefaultWindow.
+func (q *Queue) NewProducer(window int) *Producer {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	p := &Producer{
+		q:      q,
+		id:     len(q.producers),
+		window: window,
+		credit: sim.NewSignal(fmt.Sprintf("%s.prod%d.credit", q.name, len(q.producers))),
+		snd:    q.lib.isa.NewPushSender(),
+	}
+	q.producers = append(q.producers, p)
+	return p
+}
+
+// ID returns the endpoint's index within its queue.
+func (pr *Producer) ID() int { return pr.id }
+
+// Seq returns the number of messages pushed so far.
+func (pr *Producer) Seq() uint64 { return pr.seq }
+
+// Push enqueues one message. The calling process is charged the library
+// overhead plus vl_select+vl_push, then blocks only if the producer's
+// line window is exhausted (ownership of a previous line has not yet
+// transferred to the routing device).
+func (pr *Producer) Push(p *sim.Proc, payload uint64) {
+	if pr.q.closed {
+		panic("vlq: Push on closed queue " + pr.q.name)
+	}
+	lib := pr.q.lib
+	p.Sleep(lib.overhead())
+	sim.WaitUntil(p, pr.credit, func() bool { return pr.outstanding < pr.window })
+	pr.outstanding++
+	msg := mem.Message{Src: pr.id, Seq: pr.seq, Payload: payload}
+	pr.seq++
+	pr.q.pushed++
+	lib.isa.Select(p)
+	lib.isa.Push(p, pr.snd, pr.q.sqi, msg, func() {
+		pr.outstanding--
+		pr.credit.Fire()
+		if pr.OnAccept != nil {
+			pr.OnAccept(pr.q.lib.k.Now(), msg.Seq)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Consumer endpoint.
+// ---------------------------------------------------------------------
+
+// Consumer is a consumer endpoint: a page of lines that receive stashes,
+// popped in round-robin order (the library "would use the cachelines of
+// an endpoint in a round-robin fashion", §3.5).
+type Consumer struct {
+	q     *Queue
+	id    int
+	page  *mem.Page
+	next  int
+	spec  bool
+	polls uint64
+	snd   *isa.Sender
+
+	// OnFetch, if non-nil, observes every vl_fetch issued by this
+	// endpoint (tick, target line index). Used by the Figure 7 tracer.
+	OnFetch func(tick uint64, lineIdx int)
+
+	// Demand-request bookkeeping. Requests are posted strictly
+	// round-robin over the endpoint lines — request j names line
+	// j mod nlines — so the routing device's FIFO matching delivers
+	// message m into line m mod nlines, exactly the line the m-th Pop
+	// reads. (An earlier design let Pop and Prefetch post for
+	// independent lines; interleavings then delivered fills out of the
+	// pop rotation and deadlocked multi-queue workloads.)
+	postedCount uint64 // requests posted (P); request j targets line j%n
+	popsStarted uint64 // pops begun (K); pop k reads line k%n
+}
+
+// NewConsumer subscribes a consumer endpoint with nlines buffer lines.
+// If spec is true the endpoint is spec-push-enabled: the library
+// registers its lines in specBuf (spamer_register) at creation, and Pop
+// never issues vl_fetch. With spec false the endpoint is a legacy
+// demand-driven VL endpoint.
+//
+// Registration happens from a short-lived setup process, mirroring the
+// library function that creates consumer endpoints (§3.4).
+func (q *Queue) NewConsumer(p *sim.Proc, nlines int, spec bool) *Consumer {
+	if nlines <= 0 {
+		nlines = 1
+	}
+	lib := q.lib
+	c := &Consumer{
+		q:    q,
+		id:   len(q.consumers),
+		page: lib.as.NewPage(nlines),
+		spec: spec,
+		snd:  lib.isa.NewFetchSender(),
+	}
+	q.consumers = append(q.consumers, c)
+	if spec {
+		if lib.Limits.MaxSpecLines > 0 && lib.specLines+nlines > lib.Limits.MaxSpecLines {
+			// §3.6 resource cap: the endpoint degrades to demand-driven
+			// rather than letting one process monopolize specBuf.
+			c.spec = false
+			return c
+		}
+		lib.specLines += nlines
+		lib.isa.Register(p, q.sqi, c.page.Base, nlines)
+	}
+	return c
+}
+
+// ID returns the endpoint's index within its queue.
+func (c *Consumer) ID() int { return c.id }
+
+// SpecEnabled reports whether the endpoint is spec-push-enabled.
+func (c *Consumer) SpecEnabled() bool { return c.spec }
+
+// Lines exposes the endpoint's buffer lines (stats/tracing).
+func (c *Consumer) Lines() []*mem.Line { return c.page.Lines }
+
+// totalFills sums fills across the endpoint lines; in demand mode every
+// fill consumed exactly one posted request.
+func (c *Consumer) totalFills() uint64 {
+	var f uint64
+	for _, l := range c.page.Lines {
+		f += l.Fills()
+	}
+	return f
+}
+
+// postFetchNext issues the next request of the endpoint's round-robin
+// request stream.
+func (c *Consumer) postFetchNext(p *sim.Proc) {
+	lib := c.q.lib
+	i := int(c.postedCount) % len(c.page.Lines)
+	lib.isa.Select(p)
+	lib.isa.Fetch(p, c.snd, c.q.sqi, c.page.Lines[i].Addr)
+	c.postedCount++
+	if c.OnFetch != nil {
+		c.OnFetch(p.Now(), i)
+	}
+}
+
+// Prefetch posts one demand request ahead of need — even when its target
+// line currently holds unconsumed data. This is the guided form of the
+// "prerequest" behaviour of §4.2: a request travelling to the routing
+// device while the line is still valid lets buffered producer data start
+// moving before the consumer actually vacates the line. The resulting
+// push can miss (the line has not vacated yet) and retry — the source of
+// the VL baseline's non-zero failure rate on halo (Figure 10a) — but is
+// overall beneficial.
+//
+// At most one unconsumed request per line is kept outstanding.
+// Spec-enabled endpoints never request, so Prefetch is a no-op for them.
+func (c *Consumer) Prefetch(p *sim.Proc) {
+	if c.spec {
+		return
+	}
+	p.Sleep(c.q.lib.overhead())
+	if c.postedCount-c.totalFills() < uint64(len(c.page.Lines)) {
+		c.postFetchNext(p)
+	}
+}
+
+// Pop dequeues one message, blocking the calling process until data is
+// available in the endpoint's next line.
+//
+// Demand (VL) endpoints issue vl_select+vl_fetch for the line first
+// (unless a request is already outstanding, e.g. from Prefetch) — even
+// if it currently holds data, which is the unguided prerequest of §4.2.
+// Spec-enabled endpoints skip the request entirely; the routing device
+// is expected to push speculatively.
+func (c *Consumer) Pop(p *sim.Proc) mem.Message {
+	lib := c.q.lib
+	p.Sleep(lib.overhead())
+	k := c.popsStarted
+	c.popsStarted++
+	idx := int(k) % len(c.page.Lines)
+	line := c.page.Lines[idx]
+	c.next = (int(k) + 1) % len(c.page.Lines)
+	if !c.spec {
+		// Ensure the k-th fill has a request; posting here (rather
+		// than only after the previous fill was consumed) is the
+		// unguided prerequest of §4.2.
+		for c.postedCount <= k {
+			c.postFetchNext(p)
+		}
+	}
+	for line.State != mem.LineValid {
+		if line.State == mem.LineEvicted {
+			// Re-establish residency so a push can land (the waiting
+			// consumer's load misses and refetches; costs an L2 trip).
+			p.Sleep(config.EvictPenalty)
+			line.Touch()
+			continue
+		}
+		c.polls++
+		line.OnFill.Wait(p)
+	}
+	// Load-to-use: read the freshly stashed line. The line can be
+	// evicted between the fill and the read; the wait loop above then
+	// refetches it (Touch restores the written-back message).
+	for {
+		p.Sleep(config.L1HitCycles)
+		if line.State == mem.LineValid {
+			break
+		}
+		for line.State != mem.LineValid {
+			if line.State == mem.LineEvicted {
+				p.Sleep(config.EvictPenalty)
+				line.Touch()
+				continue
+			}
+			c.polls++
+			line.OnFill.Wait(p)
+		}
+	}
+	line.NoteFirstUse(line.Msg)
+	msg := line.Take()
+	c.q.popped++
+	return msg
+}
+
+// PopOrDone dequeues one message like Pop, but also returns (with
+// ok=false) if the done signal fires while waiting and isDone reports
+// true. Multi-consumer workloads use it to drain a shared queue whose
+// per-consumer message counts are not known statically: the consumer
+// that takes the last message fires done, releasing siblings blocked on
+// lines that will never fill again. A request posted by a demand
+// endpoint may stay parked at the routing device; that is harmless once
+// no producer data remains.
+func (c *Consumer) PopOrDone(p *sim.Proc, done *sim.Signal, isDone func() bool) (mem.Message, bool) {
+	lib := c.q.lib
+	p.Sleep(lib.overhead())
+	k := c.popsStarted
+	idx := int(k) % len(c.page.Lines)
+	line := c.page.Lines[idx]
+	if !c.spec && line.State != mem.LineValid && !isDone() {
+		for c.postedCount <= k {
+			c.postFetchNext(p)
+		}
+	}
+	for line.State != mem.LineValid {
+		if line.State == mem.LineEvicted {
+			p.Sleep(config.EvictPenalty)
+			line.Touch()
+			continue
+		}
+		if isDone() {
+			return mem.Message{}, false
+		}
+		c.polls++
+		sim.WaitAny(p, line.OnFill, done)
+	}
+	c.popsStarted++
+	c.next = (int(k) + 1) % len(c.page.Lines)
+	p.Sleep(config.L1HitCycles)
+	line.NoteFirstUse(line.Msg)
+	msg := line.Take()
+	c.q.popped++
+	return msg, true
+}
+
+// TryPop dequeues a message only if one is immediately available in the
+// next line, charging the library overhead either way. It never issues a
+// request and never blocks. Used by polling-style consumers.
+func (c *Consumer) TryPop(p *sim.Proc) (mem.Message, bool) {
+	lib := c.q.lib
+	p.Sleep(lib.overhead())
+	line := c.page.Lines[int(c.popsStarted)%len(c.page.Lines)]
+	if line.State != mem.LineValid {
+		return mem.Message{}, false
+	}
+	c.popsStarted++
+	c.next = (c.next + 1) % len(c.page.Lines)
+	p.Sleep(config.L1HitCycles)
+	line.NoteFirstUse(line.Msg)
+	msg := line.Take()
+	c.q.popped++
+	return msg, true
+}
+
+// Polls reports how many times Pop parked waiting for a fill (slow-path
+// entries).
+func (c *Consumer) Polls() uint64 { return c.polls }

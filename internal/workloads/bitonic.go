@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"fmt"
+
+	"spamer"
+)
+
+// bitonic: parallel bitonic sort (Batcher [5]). The master scatters data
+// blocks to worker threads through a (1:N) queue; workers run the
+// compare-exchange network on their blocks (coarse compute) and return
+// results through an (M:1) queue; the master merges. Table 2:
+// (1:N)x1+(M:1)x1 with varying thread count (default N=M=4).
+//
+// Both queues are biased — the scatter producer starves its consumers
+// (block preparation dominates) and the gather producerss are slow
+// relative to the master — so speculation finds little producer data
+// waiting and the Figure 8 speedup is near 1.0x.
+const (
+	bitonicWorkers  = 4
+	bitonicBlocks   = 96  // divisible by workers
+	bitonicPrep     = 220 // master: prepare one block for scatter
+	bitonicSortWork = 900 // worker: compare-exchange network per block
+	bitonicMerge    = 260 // master: merge one returned block
+	bitonicLines    = 2
+)
+
+func init() {
+	register(&Workload{
+		Name:      "bitonic",
+		Desc:      "sort with varying number of threads",
+		QueueSpec: fmt.Sprintf("(1:%d)x1+(%d:1)x1", bitonicWorkers, bitonicWorkers),
+		Threads:   bitonicWorkers + 1,
+		Build: func(sys *spamer.System, scale int) {
+			BuildBitonic(sys, bitonicWorkers, bitonicBlocks*scale)
+		},
+	})
+}
+
+// BuildBitonic constructs the bitonic pattern with an explicit worker
+// count ("sort with varying number of threads"); blocks must be a
+// multiple of workers.
+func BuildBitonic(sys *spamer.System, workers, blocks int) {
+	if blocks%workers != 0 {
+		panic(fmt.Sprintf("bitonic: blocks %d not divisible by workers %d", blocks, workers))
+	}
+	scatter := sys.NewQueue("bitonic.scatter") // (1:N)
+	gather := sys.NewQueue("bitonic.gather")   // (M:1)
+
+	sys.Spawn("bitonic/master", func(t *spamer.Thread) {
+		tx := scatter.NewProducer(0)
+		rx := gather.NewConsumer(t.Proc, 2*workers)
+		// The master merges results as they come back, keeping at most
+		// 2*workers blocks in flight — pushing every block before
+		// popping any result would wedge the shared 64-entry prodBuf
+		// (scatter backlog plus gather results exceed it).
+		ahead := 2 * workers
+		popped := 0
+		for b := 0; b < blocks; b++ {
+			t.Compute(bitonicPrep)
+			tx.Push(t.Proc, uint64(b))
+			if b >= ahead {
+				rx.Pop(t.Proc)
+				t.Compute(bitonicMerge)
+				popped++
+			}
+		}
+		for ; popped < blocks; popped++ {
+			rx.Pop(t.Proc)
+			t.Compute(bitonicMerge)
+		}
+	})
+
+	// Workers drain the scatter queue dynamically (speculative rotation
+	// distributes blocks approximately, not exactly, evenly).
+	work := spamer.NewWorkCounter("bitonic.scatter", blocks)
+	for w := 0; w < workers; w++ {
+		w := w
+		sys.Spawn(fmt.Sprintf("bitonic/worker%d", w), func(t *spamer.Thread) {
+			rx := scatter.NewConsumer(t.Proc, bitonicLines)
+			tx := gather.NewProducer(0)
+			for {
+				m, ok := work.Take(rx, t.Proc)
+				if !ok {
+					return
+				}
+				t.Compute(bitonicSortWork)
+				tx.Push(t.Proc, m.Payload)
+			}
+		})
+	}
+}

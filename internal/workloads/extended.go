@@ -1,0 +1,210 @@
+package workloads
+
+import (
+	"fmt"
+
+	"spamer"
+)
+
+// Extended benchmarks beyond the paper's Table 2 suite, derived from
+// the same Ember communication-pattern library the paper draws
+// ping-pong/halo/sweep/incast from. They are kept out of All() (which
+// reproduces the paper's figure set exactly) and exposed via Extended().
+
+var extendedRegistry []*Workload
+
+func registerExtended(w *Workload) {
+	extendedRegistry = append(extendedRegistry, w)
+}
+
+// Extended returns the additional benchmarks.
+func Extended() []*Workload {
+	out := make([]*Workload, len(extendedRegistry))
+	copy(out, extendedRegistry)
+	return out
+}
+
+// ExtendedByName looks an extended benchmark up.
+func ExtendedByName(name string) (*Workload, bool) {
+	for _, w := range extendedRegistry {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+const (
+	// allreduce: recursive-doubling butterfly over 8 ranks.
+	allreduceRanks   = 8
+	allreduceIters   = 80
+	allreduceCompute = 60
+
+	// alltoall: every rank sends one block to every other rank.
+	alltoallRanks   = 6
+	alltoallIters   = 50
+	alltoallCompute = 80
+
+	// reduce: binary-tree reduction to rank 0.
+	reduceRanks   = 8
+	reduceIters   = 100
+	reduceCompute = 70
+)
+
+func init() {
+	registerExtended(&Workload{
+		Name:      "allreduce",
+		Desc:      "recursive-doubling allreduce over 8 ranks",
+		QueueSpec: fmt.Sprintf("(1:1)x%d", allreduceRanks*log2(allreduceRanks)*2),
+		Threads:   allreduceRanks,
+		Build:     buildAllreduce,
+	})
+	registerExtended(&Workload{
+		Name:      "alltoall",
+		Desc:      "personalized all-to-all exchange over 6 ranks",
+		QueueSpec: fmt.Sprintf("(1:1)x%d", alltoallRanks*(alltoallRanks-1)),
+		Threads:   alltoallRanks,
+		Build:     buildAlltoall,
+	})
+	registerExtended(&Workload{
+		Name:      "reduce",
+		Desc:      "binary-tree reduction to the root over 8 ranks",
+		QueueSpec: fmt.Sprintf("(1:1)x%d", reduceRanks-1),
+		Threads:   reduceRanks,
+		Build:     buildReduce,
+	})
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// buildAllreduce: recursive doubling — in round r, rank i exchanges with
+// rank i XOR 2^r; after log2(N) rounds every rank holds the reduction.
+// Each directed pair link is one 1:1 queue per round direction.
+func buildAllreduce(sys *spamer.System, scale int) {
+	iters := allreduceIters * scale
+	rounds := log2(allreduceRanks)
+	// q[r][i] is the queue rank i uses to send in round r (to i^2^r).
+	q := make([][]*spamer.Queue, rounds)
+	for r := 0; r < rounds; r++ {
+		q[r] = make([]*spamer.Queue, allreduceRanks)
+		for i := 0; i < allreduceRanks; i++ {
+			q[r][i] = sys.NewQueue(fmt.Sprintf("ar.r%d.%d", r, i))
+		}
+	}
+	for i := 0; i < allreduceRanks; i++ {
+		i := i
+		sys.Spawn(fmt.Sprintf("allreduce/%d", i), func(t *spamer.Thread) {
+			tx := make([]*spamer.Producer, rounds)
+			rx := make([]*spamer.Consumer, rounds)
+			for r := 0; r < rounds; r++ {
+				peer := i ^ (1 << r)
+				tx[r] = q[r][i].NewProducer(2)
+				rx[r] = q[r][peer].NewConsumer(t.Proc, 2)
+			}
+			acc := uint64(i)
+			for it := 0; it < iters; it++ {
+				t.Compute(allreduceCompute) // local partial reduction
+				for r := 0; r < rounds; r++ {
+					tx[r].Push(t.Proc, acc)
+					m := rx[r].Pop(t.Proc)
+					acc += m.Payload
+					t.Compute(12) // combine
+				}
+			}
+		})
+	}
+}
+
+// buildAlltoall: each iteration every rank sends a personalized block to
+// every other rank, then receives N-1 blocks.
+func buildAlltoall(sys *spamer.System, scale int) {
+	iters := alltoallIters * scale
+	// q[i][j] is rank i's queue to rank j.
+	q := map[[2]int]*spamer.Queue{}
+	for i := 0; i < alltoallRanks; i++ {
+		for j := 0; j < alltoallRanks; j++ {
+			if i != j {
+				q[[2]int{i, j}] = sys.NewQueue(fmt.Sprintf("a2a.%d-%d", i, j))
+			}
+		}
+	}
+	for i := 0; i < alltoallRanks; i++ {
+		i := i
+		sys.Spawn(fmt.Sprintf("alltoall/%d", i), func(t *spamer.Thread) {
+			var tx []*spamer.Producer
+			var rx []*spamer.Consumer
+			for j := 0; j < alltoallRanks; j++ {
+				if j == i {
+					continue
+				}
+				tx = append(tx, q[[2]int{i, j}].NewProducer(2))
+				rx = append(rx, q[[2]int{j, i}].NewConsumer(t.Proc, 2))
+			}
+			for it := 0; it < iters; it++ {
+				for _, p := range tx {
+					p.Push(t.Proc, uint64(it))
+				}
+				t.Compute(alltoallCompute) // overlap with transit
+				for _, c := range rx {
+					c.Prefetch(t.Proc)
+				}
+				for _, c := range rx {
+					c.Pop(t.Proc)
+				}
+			}
+		})
+	}
+}
+
+// buildReduce: leaves push partial sums up a binary tree; interior ranks
+// combine two children and forward; rank 0 holds the result.
+func buildReduce(sys *spamer.System, scale int) {
+	iters := reduceIters * scale
+	// up[i] carries rank i's contribution to its parent (i-1)/2.
+	up := make([]*spamer.Queue, reduceRanks)
+	for i := 1; i < reduceRanks; i++ {
+		up[i] = sys.NewQueue(fmt.Sprintf("red.up%d", i))
+	}
+	children := func(i int) []int {
+		var out []int
+		if l := 2*i + 1; l < reduceRanks {
+			out = append(out, l)
+		}
+		if r := 2*i + 2; r < reduceRanks {
+			out = append(out, r)
+		}
+		return out
+	}
+	for i := 0; i < reduceRanks; i++ {
+		i := i
+		sys.Spawn(fmt.Sprintf("reduce/%d", i), func(t *spamer.Thread) {
+			var tx *spamer.Producer
+			if i != 0 {
+				tx = up[i].NewProducer(2)
+			}
+			var rx []*spamer.Consumer
+			for _, c := range children(i) {
+				rx = append(rx, up[c].NewConsumer(t.Proc, 2))
+			}
+			for it := 0; it < iters; it++ {
+				acc := uint64(i)
+				t.Compute(reduceCompute) // produce the local partial
+				for _, c := range rx {
+					m := c.Pop(t.Proc)
+					acc += m.Payload
+					t.Compute(10) // combine
+				}
+				if tx != nil {
+					tx.Push(t.Proc, acc)
+				}
+			}
+		})
+	}
+}

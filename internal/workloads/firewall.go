@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"spamer"
+)
+
+// firewall: filter and dispatch packages (after Wang et al. [46]).
+//
+//	rx --(1:1)--> classify --(1:1)--> fw1 --\
+//	                      \--(1:1)--> fw2 ---+--(2:1)--> sink
+//
+// Three 1:1 queues plus one 2:1 merge queue: Table 2's (1:1)x3+(2:1)x1,
+// five threads. Filter workers are lightweight relative to the request
+// round trip, so speculation keeps them on the fast path.
+const (
+	fwPackets   = 1600 // even, so fw1/fw2 split evenly
+	fwRxWork    = 20   // receive/checksum
+	fwClsWork   = 50   // classification
+	fwFilter    = 65   // per-packet filtering
+	fwSinkWork  = 20   // verdict logging
+	fwLines     = 4
+	fwSinkLines = 8
+)
+
+func init() {
+	register(&Workload{
+		Name:      "firewall",
+		Desc:      "filter and dispatch packages",
+		QueueSpec: "(1:1)x3+(2:1)x1",
+		Threads:   5,
+		Build:     buildFirewall,
+	})
+}
+
+func buildFirewall(sys *spamer.System, scale int) {
+	n := fwPackets * scale
+	qRx := sys.NewQueue("fw.rx")     // rx -> classify (1:1)
+	qF1 := sys.NewQueue("fw.lane1")  // classify -> fw1 (1:1)
+	qF2 := sys.NewQueue("fw.lane2")  // classify -> fw2 (1:1)
+	qOut := sys.NewQueue("fw.merge") // fw1+fw2 -> sink (2:1)
+
+	sys.Spawn("firewall/rx", func(t *spamer.Thread) {
+		tx := qRx.NewProducer(0)
+		for i := 0; i < n; i++ {
+			t.Compute(fwRxWork)
+			tx.Push(t.Proc, uint64(i))
+		}
+	})
+
+	sys.Spawn("firewall/classify", func(t *spamer.Thread) {
+		rx := qRx.NewConsumer(t.Proc, fwLines)
+		lanes := []*spamer.Producer{qF1.NewProducer(0), qF2.NewProducer(0)}
+		for i := 0; i < n; i++ {
+			m := rx.Pop(t.Proc)
+			t.Compute(fwClsWork)
+			// Deterministic 5-tuple hash stand-in: alternate lanes.
+			lanes[int(m.Payload)%2].Push(t.Proc, m.Payload)
+		}
+	})
+
+	for lane, q := range []*spamer.Queue{qF1, qF2} {
+		lane, q := lane, q
+		sys.Spawn("firewall/fw"+string(rune('1'+lane)), func(t *spamer.Thread) {
+			rx := q.NewConsumer(t.Proc, fwLines)
+			tx := qOut.NewProducer(0)
+			for i := 0; i < n/2; i++ {
+				m := rx.Pop(t.Proc)
+				t.Compute(fwFilter)
+				tx.Push(t.Proc, m.Payload)
+			}
+		})
+	}
+
+	sys.Spawn("firewall/sink", func(t *spamer.Thread) {
+		rx := qOut.NewConsumer(t.Proc, fwSinkLines)
+		for i := 0; i < n; i++ {
+			rx.Pop(t.Proc)
+			t.Compute(fwSinkWork)
+		}
+	})
+}

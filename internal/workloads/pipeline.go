@@ -1,0 +1,109 @@
+package workloads
+
+import (
+	"fmt"
+
+	"spamer"
+)
+
+// pipeline: a 4-stage packet-processing pipeline with multi-threaded
+// middle stages (after Wang et al.'s CAF workloads [46]):
+//
+//	source(1) --(1:4)--> parse(4) --(4:4)--> process(4) --(4:1)--> sink(1)
+//	   ^                                                             |
+//	   +-------------------------- (1:1) credits ---------------------+
+//
+// The (1:1) queue carries batch credits from the sink back to the source,
+// bounding run-ahead to pipeDepth batches — the fourth queue of Table 2's
+// (1:4)x1+(4:4)x1+(4:1)x1+(1:1)x1.
+const (
+	pipeWorkers  = 4
+	pipeMessages = 1600 // divisible by pipeWorkers and pipeBatch
+	pipeBatch    = 80
+	pipeDepth    = 4  // batches in flight before the source needs a credit
+	pipeSrcWork  = 42 // per-packet generation
+	pipeMidWork  = 75 // per-packet parse/process
+	pipeSinkWork = 30 // per-packet retirement
+	pipeLines    = 4
+)
+
+func init() {
+	register(&Workload{
+		Name:      "pipeline",
+		Desc:      "4-stage pipeline with middle stages multi-threaded",
+		QueueSpec: "(1:4)x1+(4:4)x1+(4:1)x1+(1:1)x1",
+		Threads:   2 + 2*pipeWorkers,
+		Build:     buildPipeline,
+	})
+}
+
+func buildPipeline(sys *spamer.System, scale int) {
+	n := pipeMessages * scale
+	q1 := sys.NewQueue("pipe.s0s1") // (1:4)
+	q2 := sys.NewQueue("pipe.s1s2") // (4:4)
+	q3 := sys.NewQueue("pipe.s2s3") // (4:1)
+	qc := sys.NewQueue("pipe.cred") // (1:1) sink -> source
+
+	batches := n / pipeBatch
+
+	sys.Spawn("pipeline/source", func(t *spamer.Thread) {
+		tx := q1.NewProducer(0)
+		cr := qc.NewConsumer(t.Proc, 2)
+		for b := 0; b < batches; b++ {
+			if b >= pipeDepth {
+				cr.Pop(t.Proc) // wait for a retired batch
+			}
+			for i := 0; i < pipeBatch; i++ {
+				t.Compute(pipeSrcWork)
+				tx.Push(t.Proc, uint64(b*pipeBatch+i))
+			}
+		}
+	})
+
+	// The middle stages drain their queues dynamically: under
+	// speculative rotation the per-worker share is approximate, so the
+	// workers share a WorkCounter instead of fixed pop counts.
+	parseWork := spamer.NewWorkCounter("pipe.parse", n)
+	processWork := spamer.NewWorkCounter("pipe.process", n)
+	for w := 0; w < pipeWorkers; w++ {
+		w := w
+		sys.Spawn(fmt.Sprintf("pipeline/parse%d", w), func(t *spamer.Thread) {
+			rx := q1.NewConsumer(t.Proc, pipeLines)
+			tx := q2.NewProducer(0)
+			for {
+				m, ok := parseWork.Take(rx, t.Proc)
+				if !ok {
+					return
+				}
+				t.Compute(pipeMidWork)
+				tx.Push(t.Proc, m.Payload)
+			}
+		})
+		sys.Spawn(fmt.Sprintf("pipeline/process%d", w), func(t *spamer.Thread) {
+			rx := q2.NewConsumer(t.Proc, pipeLines)
+			tx := q3.NewProducer(0)
+			for {
+				m, ok := processWork.Take(rx, t.Proc)
+				if !ok {
+					return
+				}
+				t.Compute(pipeMidWork)
+				tx.Push(t.Proc, m.Payload)
+			}
+		})
+	}
+
+	sys.Spawn("pipeline/sink", func(t *spamer.Thread) {
+		rx := q3.NewConsumer(t.Proc, pipeLines)
+		cr := qc.NewProducer(0)
+		credits := 0
+		for i := 0; i < n; i++ {
+			rx.Pop(t.Proc)
+			t.Compute(pipeSinkWork)
+			if (i+1)%pipeBatch == 0 && credits < batches-pipeDepth {
+				cr.Push(t.Proc, uint64(credits))
+				credits++
+			}
+		}
+	})
+}

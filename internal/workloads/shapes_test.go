@@ -1,0 +1,205 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"spamer"
+)
+
+// shapeMatrix runs every benchmark under every configuration once and
+// caches the results for the shape assertions below — the qualitative
+// claims of the paper's evaluation (§4.3, Figures 8-10) that this
+// reproduction must preserve.
+var shapeOnce struct {
+	done    bool
+	results map[string]map[string]spamer.Result
+}
+
+func shapeResults(t *testing.T) map[string]map[string]spamer.Result {
+	t.Helper()
+	if shapeOnce.done {
+		return shapeOnce.results
+	}
+	out := map[string]map[string]spamer.Result{}
+	for _, w := range All() {
+		out[w.Name] = map[string]spamer.Result{}
+		for _, alg := range spamer.Configs() {
+			out[w.Name][alg] = w.Run(spamer.Config{Algorithm: alg, Deadline: 1 << 34}, 1)
+		}
+	}
+	shapeOnce.done = true
+	shapeOnce.results = out
+	return out
+}
+
+func speedup(res map[string]spamer.Result, alg string) float64 {
+	return res[alg].Speedup(res[spamer.AlgBaseline])
+}
+
+// TestShapeFigure8Winners: SPAMeR clearly beats VL on the
+// communication-latency-bound benchmarks (incast, halo, pipeline,
+// firewall, FIR) with the 0-delay algorithm.
+func TestShapeFigure8Winners(t *testing.T) {
+	rs := shapeResults(t)
+	for _, name := range []string{"incast", "halo", "pipeline", "firewall", "FIR"} {
+		if sp := speedup(rs[name], spamer.AlgZeroDelay); sp < 1.2 {
+			t.Errorf("%s: 0delay speedup = %.2f, want >= 1.2", name, sp)
+		}
+	}
+}
+
+// TestShapeFigure8Neutral: ping-pong, sweep and bitonic gain little —
+// data production is on their critical path (§4.3).
+func TestShapeFigure8Neutral(t *testing.T) {
+	rs := shapeResults(t)
+	for _, name := range []string{"ping-pong", "sweep", "bitonic"} {
+		for _, alg := range []string{spamer.AlgZeroDelay, spamer.AlgAdaptive, spamer.AlgTuned} {
+			sp := speedup(rs[name], alg)
+			if sp < 0.93 || sp > 1.2 {
+				t.Errorf("%s/%s: speedup = %.2f, want ~1.0", name, alg, sp)
+			}
+		}
+	}
+}
+
+// TestShapeFIRAlgorithmOrdering: on FIR, 0-delay wins, the tuned
+// algorithm recovers most of it, and the adaptive algorithm trails
+// ("the adaptive algorithm adjusts the delay too dramatically", §4.3).
+func TestShapeFIRAlgorithmOrdering(t *testing.T) {
+	rs := shapeResults(t)
+	zd := speedup(rs["FIR"], spamer.AlgZeroDelay)
+	ad := speedup(rs["FIR"], spamer.AlgAdaptive)
+	tu := speedup(rs["FIR"], spamer.AlgTuned)
+	if !(zd > tu && tu > ad) {
+		t.Errorf("FIR ordering: 0delay=%.2f tuned=%.2f adapt=%.2f, want 0delay > tuned > adapt", zd, tu, ad)
+	}
+	if ad > zd-0.1 {
+		t.Errorf("FIR: adaptive %.2f too close to 0delay %.2f", ad, zd)
+	}
+}
+
+// TestShapeFIRIsLargestWin: FIR shows the highest 0-delay speedup of the
+// suite (paper: 2.59x, the maximum of Figure 8).
+func TestShapeFIRIsLargestWin(t *testing.T) {
+	rs := shapeResults(t)
+	fir := speedup(rs["FIR"], spamer.AlgZeroDelay)
+	for _, w := range All() {
+		if w.Name == "FIR" {
+			continue
+		}
+		if sp := speedup(rs[w.Name], spamer.AlgZeroDelay); sp > fir+0.01 {
+			t.Errorf("%s 0delay speedup %.2f exceeds FIR's %.2f", w.Name, sp, fir)
+		}
+	}
+}
+
+// TestShapeAdaptiveCloseElsewhere: "For all the benchmarks except FIR,
+// the adaptive delay algorithm obtains performance improvement fairly
+// close to the 0-delay algorithm" (§4.3).
+func TestShapeAdaptiveCloseElsewhere(t *testing.T) {
+	rs := shapeResults(t)
+	for _, w := range All() {
+		if w.Name == "FIR" {
+			continue
+		}
+		zd, ad := speedup(rs[w.Name], spamer.AlgZeroDelay), speedup(rs[w.Name], spamer.AlgAdaptive)
+		if math.Abs(zd-ad) > 0.12 {
+			t.Errorf("%s: adaptive %.2f not close to 0delay %.2f", w.Name, ad, zd)
+		}
+	}
+}
+
+// TestShapeGeomeans: geometric-mean ordering of Figure 8 —
+// 0-delay > tuned > adaptive, all comfortably above 1
+// (paper: 1.45x / 1.33x / 1.25x).
+func TestShapeGeomeans(t *testing.T) {
+	rs := shapeResults(t)
+	geo := func(alg string) float64 {
+		sum := 0.0
+		for _, w := range All() {
+			sum += math.Log(speedup(rs[w.Name], alg))
+		}
+		return math.Exp(sum / float64(len(All())))
+	}
+	zd, ad, tu := geo(spamer.AlgZeroDelay), geo(spamer.AlgAdaptive), geo(spamer.AlgTuned)
+	if !(zd >= tu && tu >= ad) {
+		t.Errorf("geomeans: 0delay=%.3f tuned=%.3f adapt=%.3f, want 0delay >= tuned >= adapt", zd, tu, ad)
+	}
+	if ad < 1.1 || zd < 1.2 {
+		t.Errorf("geomeans too low: 0delay=%.3f adapt=%.3f", zd, ad)
+	}
+}
+
+// TestShapeFigure10aFailureRates: the VL baseline almost never fails;
+// 0-delay fails the most; the adaptive algorithm keeps the failure rate
+// under 50% on every benchmark (§4.3).
+func TestShapeFigure10aFailureRates(t *testing.T) {
+	rs := shapeResults(t)
+	for _, w := range All() {
+		res := rs[w.Name]
+		if fr := res[spamer.AlgBaseline].FailureRate(); fr > 0.10 {
+			t.Errorf("%s: VL failure rate %.0f%%, want ~0", w.Name, fr*100)
+		}
+		if fr := res[spamer.AlgAdaptive].FailureRate(); fr >= 0.50 {
+			t.Errorf("%s: adaptive failure rate %.0f%%, want < 50%%", w.Name, fr*100)
+		}
+		zd := res[spamer.AlgZeroDelay].FailureRate()
+		ad := res[spamer.AlgAdaptive].FailureRate()
+		if zd < ad-1e-9 {
+			t.Errorf("%s: 0delay failure %.0f%% below adaptive %.0f%%", w.Name, zd*100, ad*100)
+		}
+	}
+}
+
+// TestShapeFigure10bBusUtilization: with the adaptive or tuned
+// algorithm, SPAMeR's bus utilization is comparable to or lower than the
+// baseline on benchmarks where requests dominate; 0-delay burns the most
+// bandwidth of the three on failure-heavy workloads.
+func TestShapeFigure10bBusUtilization(t *testing.T) {
+	rs := shapeResults(t)
+	for _, w := range All() {
+		res := rs[w.Name]
+		zd := res[spamer.AlgZeroDelay].BusUtilization
+		ad := res[spamer.AlgAdaptive].BusUtilization
+		if ad > zd*1.05+1e-9 {
+			t.Errorf("%s: adaptive bus %.3f above 0delay %.3f", w.Name, ad, zd)
+		}
+	}
+	// On the request-heavy pipeline benchmark, SPAMeR (adaptive) must
+	// move less bus traffic than the baseline: successful speculation
+	// halves the per-message transaction count (§4.3).
+	res := rs["pipeline"]
+	if res[spamer.AlgAdaptive].BusUtilization >= res[spamer.AlgBaseline].BusUtilization {
+		t.Errorf("pipeline: adaptive bus %.3f not below baseline %.3f",
+			res[spamer.AlgAdaptive].BusUtilization, res[spamer.AlgBaseline].BusUtilization)
+	}
+}
+
+// TestShapeFigure9Breakdown: speculation reduces consumer-line empty
+// time on the winning benchmarks (SPAMeR "cuts off some empty cycles").
+func TestShapeFigure9Breakdown(t *testing.T) {
+	rs := shapeResults(t)
+	for _, name := range []string{"incast", "pipeline", "firewall", "FIR"} {
+		res := rs[name]
+		base := res[spamer.AlgBaseline]
+		spec := res[spamer.AlgZeroDelay]
+		if spec.AvgEmptyTicks >= base.AvgEmptyTicks {
+			t.Errorf("%s: 0delay avg empty %.0f not below baseline %.0f",
+				name, spec.AvgEmptyTicks, base.AvgEmptyTicks)
+		}
+	}
+}
+
+// TestShapeMessageConservation: every cell of the matrix conserves
+// messages.
+func TestShapeMessageConservation(t *testing.T) {
+	rs := shapeResults(t)
+	for name, byAlg := range rs {
+		for alg, res := range byAlg {
+			if res.Pushed != res.Popped {
+				t.Errorf("%s/%s: pushed %d != popped %d", name, alg, res.Pushed, res.Popped)
+			}
+		}
+	}
+}

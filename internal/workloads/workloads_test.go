@@ -1,0 +1,217 @@
+package workloads
+
+import (
+	"testing"
+
+	"spamer"
+)
+
+// expectedMessages returns the total queue messages a scale-1 run moves,
+// derived from the workload definitions, for conservation checks.
+func expectedMessages(name string, scale int) uint64 {
+	s := uint64(scale)
+	switch name {
+	case "ping-pong":
+		return 2 * pingPongRounds * s
+	case "halo":
+		return 48 * haloIters * s
+	case "sweep":
+		return 48 * sweepIters * s
+	case "incast":
+		return incastProducers * incastPerProd * s
+	case "pipeline":
+		n := pipeMessages * s
+		credits := n/pipeBatch - pipeDepth
+		return 3*n + credits
+	case "firewall":
+		return 3 * fwPackets * s
+	case "FIR":
+		return (firStages - 1) * firSamples * s
+	case "bitonic":
+		return 2 * bitonicBlocks * s
+	default:
+		return 0
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"bitonic", "sweep", "ping-pong", "incast", "halo", "pipeline", "firewall", "FIR"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, n := range want {
+		if _, ok := ByName(n); !ok {
+			t.Fatalf("ByName(%q) failed", n)
+		}
+	}
+}
+
+func TestQueueSpecsMatchTable2(t *testing.T) {
+	want := map[string]string{
+		"ping-pong": "(1:1)x2",
+		"halo":      "(1:1)x48",
+		"sweep":     "(1:1)x48",
+		"incast":    "(4:1)x1",
+		"pipeline":  "(1:4)x1+(4:4)x1+(4:1)x1+(1:1)x1",
+		"firewall":  "(1:1)x3+(2:1)x1",
+		"FIR":       "(1:1)x9",
+		"bitonic":   "(1:4)x1+(4:1)x1",
+	}
+	for name, spec := range want {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %q", name)
+		}
+		if w.QueueSpec != spec {
+			t.Errorf("%s: QueueSpec = %q, want %q", name, w.QueueSpec, spec)
+		}
+	}
+}
+
+// queueCount verifies the built system has the Table 2 number of queues
+// and threads.
+func TestTopology(t *testing.T) {
+	wantQueues := map[string]int{
+		"ping-pong": 2, "halo": 48, "sweep": 48, "incast": 1,
+		"pipeline": 4, "firewall": 4, "FIR": 9, "bitonic": 2,
+	}
+	for _, w := range All() {
+		sys := spamer.NewSystem(spamer.Config{Deadline: 1 << 34})
+		w.Build(sys, 1)
+		if got := len(sys.Queues()); got != wantQueues[w.Name] {
+			t.Errorf("%s: %d queues, want %d", w.Name, got, wantQueues[w.Name])
+		}
+		if got := sys.Threads(); got != w.Threads {
+			t.Errorf("%s: %d threads, want %d", w.Name, got, w.Threads)
+		}
+		res := sys.Run() // must also complete
+		if res.Pushed != res.Popped {
+			t.Errorf("%s: pushed %d != popped %d", w.Name, res.Pushed, res.Popped)
+		}
+	}
+}
+
+// TestAllWorkloadsAllConfigs is the big integration matrix: every
+// benchmark completes under every routing-device configuration and
+// conserves messages.
+func TestAllWorkloadsAllConfigs(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		for _, alg := range spamer.Configs() {
+			alg := alg
+			t.Run(w.Name+"/"+alg, func(t *testing.T) {
+				t.Parallel()
+				res := w.Run(spamer.Config{Algorithm: alg, Deadline: 1 << 34}, 1)
+				if res.Pushed == 0 {
+					t.Fatal("no messages moved")
+				}
+				if res.Pushed != res.Popped {
+					t.Fatalf("pushed %d != popped %d", res.Pushed, res.Popped)
+				}
+				if want := expectedMessages(w.Name, 1); res.Pushed != want {
+					t.Fatalf("moved %d messages, want %d", res.Pushed, want)
+				}
+				if res.Ticks == 0 {
+					t.Fatal("zero execution time")
+				}
+				if alg == spamer.AlgBaseline && res.Device.SpecPushes != 0 {
+					t.Fatalf("baseline issued spec pushes")
+				}
+				if alg != spamer.AlgBaseline && res.Device.SpecPushes == 0 {
+					t.Fatalf("%s issued no spec pushes", alg)
+				}
+			})
+		}
+	}
+}
+
+// TestDeterministicWorkloads: same workload+config twice gives identical
+// results.
+func TestDeterministicWorkloads(t *testing.T) {
+	for _, name := range []string{"firewall", "incast"} {
+		w, _ := ByName(name)
+		a := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 34}, 1)
+		b := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 34}, 1)
+		if a.Ticks != b.Ticks || a.Device != b.Device {
+			t.Fatalf("%s: nondeterministic (%d vs %d ticks)", name, a.Ticks, b.Ticks)
+		}
+	}
+}
+
+func TestBitonicVaryingWorkers(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		sys := spamer.NewSystem(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 34})
+		BuildBitonic(sys, workers, 8*workers)
+		res := sys.Run()
+		if res.Pushed != uint64(16*workers) {
+			t.Fatalf("workers=%d: moved %d messages", workers, res.Pushed)
+		}
+	}
+}
+
+func TestBitonicBadBlocksPanics(t *testing.T) {
+	sys := spamer.NewSystem(spamer.Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for indivisible blocks")
+		}
+	}()
+	BuildBitonic(sys, 3, 10)
+}
+
+func TestGridNeighborCounts(t *testing.T) {
+	// 4x4 grid: corner 2, edge 3, interior 4 neighbours; 48 directed links.
+	total := 0
+	for y := 0; y < gridH; y++ {
+		for x := 0; x < gridW; x++ {
+			total += len(neighbors(x, y))
+		}
+	}
+	if total != 48 {
+		t.Fatalf("directed links = %d, want 48", total)
+	}
+	if n := len(neighbors(0, 0)); n != 2 {
+		t.Fatalf("corner neighbours = %d", n)
+	}
+	if n := len(neighbors(1, 0)); n != 3 {
+		t.Fatalf("edge neighbours = %d", n)
+	}
+	if n := len(neighbors(1, 1)); n != 4 {
+		t.Fatalf("interior neighbours = %d", n)
+	}
+}
+
+// TestScaleMultiplier: scale multiplies the message volume linearly.
+func TestScaleMultiplier(t *testing.T) {
+	w, _ := ByName("firewall")
+	one := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 36}, 1)
+	two := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 36}, 2)
+	if two.Pushed != 2*one.Pushed {
+		t.Fatalf("messages: %d vs %d", two.Pushed, one.Pushed)
+	}
+	if two.Ticks <= one.Ticks {
+		t.Fatalf("ticks did not grow: %d vs %d", two.Ticks, one.Ticks)
+	}
+	// Throughput is roughly scale-invariant (within 20%).
+	r1 := float64(one.Pushed) / float64(one.Ticks)
+	r2 := float64(two.Pushed) / float64(two.Ticks)
+	if r2 < r1*0.8 || r2 > r1*1.2 {
+		t.Fatalf("throughput drifted: %.4f vs %.4f", r1, r2)
+	}
+}
+
+// TestDefaultScaleZero: Run treats scale<=0 as 1.
+func TestDefaultScaleZero(t *testing.T) {
+	w, _ := ByName("ping-pong")
+	a := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, Deadline: 1 << 36}, 0)
+	b := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, Deadline: 1 << 36}, 1)
+	if a.Ticks != b.Ticks {
+		t.Fatalf("scale 0 != scale 1: %d vs %d", a.Ticks, b.Ticks)
+	}
+}

@@ -1,0 +1,74 @@
+package spamer
+
+import "testing"
+
+// TestMultiDeviceDistribution: queues spread round-robin over devices
+// and traffic stays correct.
+func TestMultiDeviceDistribution(t *testing.T) {
+	sys := NewSystem(Config{Algorithm: AlgTuned, Devices: 3, Deadline: 1 << 32})
+	if len(sys.Devices()) != 3 {
+		t.Fatalf("devices = %d", len(sys.Devices()))
+	}
+	const queues, perQueue = 6, 40
+	for qi := 0; qi < queues; qi++ {
+		q := sys.NewQueue("q")
+		sys.Spawn("producer", func(th *Thread) {
+			pr := q.NewProducer(0)
+			for i := 0; i < perQueue; i++ {
+				th.Compute(20)
+				pr.Push(th.Proc, uint64(i))
+			}
+		})
+		sys.Spawn("consumer", func(th *Thread) {
+			c := q.NewConsumer(th.Proc, 2)
+			for i := 0; i < perQueue; i++ {
+				m := c.Pop(th.Proc)
+				if m.Seq != uint64(i) {
+					t.Errorf("queue %d: seq %d at pop %d", qi, m.Seq, i)
+				}
+				th.Compute(30)
+			}
+		})
+	}
+	res := sys.Run()
+	if res.Pushed != queues*perQueue || res.Popped != queues*perQueue {
+		t.Fatalf("conservation: %d/%d", res.Pushed, res.Popped)
+	}
+	// Every device must have carried traffic (6 queues over 3 devices).
+	for i, d := range sys.Devices() {
+		if d.Stats().PushAccepts == 0 {
+			t.Errorf("device %d idle", i)
+		}
+	}
+	// Aggregated stats must cover all pushes.
+	if res.Device.PushAccepts < queues*perQueue {
+		t.Fatalf("aggregated accepts = %d", res.Device.PushAccepts)
+	}
+}
+
+// TestMultiDeviceMatchesSingleDeviceSemantics: a 1-queue workload is
+// unaffected by extra devices.
+func TestMultiDeviceMatchesSingleDeviceSemantics(t *testing.T) {
+	run := func(devices int) Result {
+		sys := NewSystem(Config{Algorithm: AlgZeroDelay, Devices: devices, Deadline: 1 << 32})
+		q := sys.NewQueue("q")
+		sys.Spawn("p", func(th *Thread) {
+			pr := q.NewProducer(0)
+			for i := 0; i < 100; i++ {
+				pr.Push(th.Proc, uint64(i))
+			}
+		})
+		sys.Spawn("c", func(th *Thread) {
+			rx := q.NewConsumer(th.Proc, 2)
+			for i := 0; i < 100; i++ {
+				rx.Pop(th.Proc)
+				th.Compute(25)
+			}
+		})
+		return sys.Run()
+	}
+	a, b := run(1), run(4)
+	if a.Ticks != b.Ticks {
+		t.Fatalf("single-queue run differs across device counts: %d vs %d", a.Ticks, b.Ticks)
+	}
+}

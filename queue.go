@@ -1,0 +1,146 @@
+package spamer
+
+import (
+	"spamer/internal/mem"
+	"spamer/internal/sim"
+	"spamer/internal/vlq"
+)
+
+// Queue is one M:N message channel (one Shared Queue Identifier).
+// Producers and consumers subscribe endpoints to it; the paper writes the
+// shape as (M:N)xk in Table 2.
+type Queue struct {
+	sys   *System
+	inner *vlq.Queue
+}
+
+// NewQueue creates a message channel. On multi-device systems queues
+// are placed round-robin across the routing devices.
+func (s *System) NewQueue(name string) *Queue {
+	lib := s.libs[s.nextDev%len(s.libs)]
+	s.nextDev++
+	q := &Queue{sys: s, inner: lib.NewQueue(name)}
+	s.queues = append(s.queues, q)
+	return q
+}
+
+// Queues returns every queue created on the system.
+func (s *System) Queues() []*Queue { return s.queues }
+
+// Name returns the queue's diagnostic name.
+func (q *Queue) Name() string { return q.inner.Name() }
+
+// Pushed reports messages accepted from producers so far.
+func (q *Queue) Pushed() uint64 { return q.inner.Pushed() }
+
+// Popped reports messages delivered to consumers so far.
+func (q *Queue) Popped() uint64 { return q.inner.Popped() }
+
+// Close tears the queue down once drained, returning its SQI and
+// specBuf entries to the device. See vlq.Queue.Close.
+func (q *Queue) Close() error { return q.inner.Close() }
+
+// Inner exposes the library-level queue for tracing and tests.
+func (q *Queue) Inner() *vlq.Queue { return q.inner }
+
+// Producer is a producer endpoint handle.
+type Producer struct {
+	inner *vlq.Producer
+}
+
+// NewProducer subscribes a producer endpoint. window bounds in-flight
+// pushes (0 = default).
+func (q *Queue) NewProducer(window int) *Producer {
+	return &Producer{inner: q.inner.NewProducer(window)}
+}
+
+// Push enqueues one message, charging the calling thread the library and
+// ISA costs, blocking only on the endpoint's line window.
+func (pr *Producer) Push(p *sim.Proc, payload uint64) { pr.inner.Push(p, payload) }
+
+// Sent reports how many messages this endpoint has pushed.
+func (pr *Producer) Sent() uint64 { return pr.inner.Seq() }
+
+// Inner exposes the library-level producer for tracing and tests.
+func (pr *Producer) Inner() *vlq.Producer { return pr.inner }
+
+// Consumer is a consumer endpoint handle.
+type Consumer struct {
+	inner *vlq.Consumer
+}
+
+// NewConsumer subscribes a consumer endpoint with nlines buffer lines.
+// Under a SPAMeR system the endpoint is created spec-push-enabled (the
+// library issues spamer_register, §3.4); under the VL baseline it is
+// demand-driven. Use NewConsumerLegacy to force a demand-driven endpoint
+// on a SPAMeR system (§3.4's "legacy option").
+func (q *Queue) NewConsumer(p *sim.Proc, nlines int) *Consumer {
+	return &Consumer{inner: q.inner.NewConsumer(p, nlines, q.sys.Speculative())}
+}
+
+// NewConsumerLegacy subscribes a demand-driven endpoint regardless of the
+// system flavour.
+func (q *Queue) NewConsumerLegacy(p *sim.Proc, nlines int) *Consumer {
+	return &Consumer{inner: q.inner.NewConsumer(p, nlines, false)}
+}
+
+// Pop dequeues one message, blocking until available.
+func (c *Consumer) Pop(p *sim.Proc) mem.Message { return c.inner.Pop(p) }
+
+// Prefetch posts a demand request for the endpoint's next line ahead of
+// the Pop that will consume it (no-op on spec-enabled endpoints). See
+// vlq.Consumer.Prefetch.
+func (c *Consumer) Prefetch(p *sim.Proc) { c.inner.Prefetch(p) }
+
+// TryPop dequeues only if a message is immediately available.
+func (c *Consumer) TryPop(p *sim.Proc) (mem.Message, bool) { return c.inner.TryPop(p) }
+
+// PopOrDone dequeues like Pop but gives up (ok=false) once the done
+// signal fires with isDone true. See WorkCounter for the common usage.
+func (c *Consumer) PopOrDone(p *sim.Proc, done *sim.Signal, isDone func() bool) (mem.Message, bool) {
+	return c.inner.PopOrDone(p, done, isDone)
+}
+
+// WorkCounter coordinates multiple consumers draining a fixed global
+// message count from one queue when the per-consumer share is not known
+// statically (M:N queues under speculative rotation deliver
+// approximately, not exactly, evenly). The consumer that takes the last
+// message wakes every sibling still blocked.
+type WorkCounter struct {
+	remaining int
+	done      *sim.Signal
+}
+
+// NewWorkCounter returns a counter for total messages.
+func NewWorkCounter(name string, total int) *WorkCounter {
+	return &WorkCounter{remaining: total, done: sim.NewSignal(name + ".done")}
+}
+
+// Remaining reports undelivered messages.
+func (wc *WorkCounter) Remaining() int { return wc.remaining }
+
+// Take pops one message from c, or returns ok=false when the global
+// count is exhausted.
+func (wc *WorkCounter) Take(c *Consumer, p *sim.Proc) (mem.Message, bool) {
+	if wc.remaining == 0 {
+		return mem.Message{}, false
+	}
+	m, ok := c.PopOrDone(p, wc.done, func() bool { return wc.remaining == 0 })
+	if !ok {
+		return mem.Message{}, false
+	}
+	wc.remaining--
+	if wc.remaining == 0 {
+		wc.done.Fire()
+	}
+	return m, true
+}
+
+// SpecEnabled reports whether the endpoint receives speculative pushes.
+func (c *Consumer) SpecEnabled() bool { return c.inner.SpecEnabled() }
+
+// Lines exposes the endpoint's cache lines (stats/tracing).
+func (c *Consumer) Lines() []*mem.Line { return c.inner.Lines() }
+
+// Inner exposes the library-level consumer for tracing and tests.
+func (c *Consumer) Inner() *vlq.Consumer { return c.inner }

@@ -1,0 +1,403 @@
+// Package spamer is a library-level reproduction of "SPAMeR: Speculative
+// Push for Anticipated Message Requests in Multi-Core Systems"
+// (Wu et al., ICPP 2022).
+//
+// It assembles a deterministic cycle-granularity simulation of a
+// multi-core system whose cores communicate through hardware message
+// queues: the Virtual-Link routing device (the paper's baseline) and the
+// SPAMeR Routing Device, which speculatively pushes messages into
+// consumer cache lines in anticipation of requests.
+//
+// A System bundles the simulation kernel, the coherence-network bus, the
+// routing device, and the software queue library. Application threads are
+// simulation processes spawned with Spawn; they communicate through
+// Queues created with NewQueue. Run drives the simulation to completion
+// and returns a Result with the metrics the paper's evaluation reports:
+// execution time, consumer-line empty/non-empty cycle breakdown
+// (Figure 9), push failure rates (Figure 10a), and bus utilization
+// (Figure 10b).
+//
+// Minimal example:
+//
+//	sys := spamer.NewSystem(spamer.Config{Algorithm: spamer.AlgTuned})
+//	q := sys.NewQueue("work")
+//	sys.Spawn("producer", func(t *spamer.Thread) {
+//		pr := q.NewProducer(0)
+//		for i := 0; i < 100; i++ {
+//			pr.Push(t.Proc, uint64(i))
+//		}
+//	})
+//	sys.Spawn("consumer", func(t *spamer.Thread) {
+//		c := q.NewConsumer(t.Proc, 4)
+//		for i := 0; i < 100; i++ {
+//			_ = c.Pop(t.Proc)
+//		}
+//	})
+//	res := sys.Run()
+//	fmt.Println(res.Ticks, res.FailureRate(), res.BusUtilization)
+package spamer
+
+import (
+	"fmt"
+
+	"spamer/internal/config"
+	"spamer/internal/core"
+	"spamer/internal/isa"
+	"spamer/internal/mem"
+	"spamer/internal/noc"
+	"spamer/internal/sim"
+	"spamer/internal/vl"
+	"spamer/internal/vlq"
+)
+
+// Algorithm names accepted by Config.Algorithm.
+const (
+	// AlgBaseline selects the plain Virtual-Link routing device: no
+	// specBuf, demand-driven pushes only.
+	AlgBaseline = "vl"
+	// AlgZeroDelay selects SPAMeR with the 0-delay algorithm (§3.5).
+	AlgZeroDelay = "0delay"
+	// AlgAdaptive selects SPAMeR with the adaptive delay algorithm.
+	AlgAdaptive = "adapt"
+	// AlgTuned selects SPAMeR with the tuned algorithm of Listing 1.
+	AlgTuned = "tuned"
+)
+
+// Configs returns the four evaluation configurations in paper order:
+// VL baseline, then SPAMeR with 0-delay, adaptive, and tuned.
+func Configs() []string {
+	return []string{AlgBaseline, AlgZeroDelay, AlgAdaptive, AlgTuned}
+}
+
+// Config parameterizes a System.
+type Config struct {
+	// Algorithm picks the routing device flavour: AlgBaseline (or "")
+	// for Virtual-Link, or one of the SPAMeR delay algorithms.
+	Algorithm string
+
+	// Tuned overrides the tuned-algorithm parameters when Algorithm is
+	// AlgTuned; the zero value selects the paper's published set.
+	Tuned config.TunedParams
+
+	// CustomAlgorithm installs a caller-supplied delay-prediction
+	// algorithm instead of the named ones (Algorithm must then be
+	// "custom"). Used by ablation studies and instrumented runs.
+	CustomAlgorithm core.DelayAlgorithm
+
+	// Inlined selects macro-inlined queue library functions (§3.4).
+	// The paper's evaluation applies inlining to baseline and SPAMeR
+	// alike; NewSystem therefore defaults it to true. Set
+	// NoInline to get the function-call overhead instead.
+	NoInline bool
+
+	// SRD overrides the routing-device structure capacities
+	// (default: Table 1, 64 entries each).
+	SRD vl.Config
+
+	// HopLatency overrides the one-way core<->device hop latency in
+	// cycles (default config.HopCycles).
+	HopLatency uint64
+
+	// BusChannels overrides the interconnect channel count
+	// (default noc.DefaultChannels). Topology sensitivity studies use
+	// 1 for a single shared bus.
+	BusChannels int
+
+	// Devices sets the number of routing devices attached to the
+	// network (default 1). The paper treats the routing device "like a
+	// slice of system cache ... as such a system could have more than
+	// one router" (§3.1); queues are distributed round-robin across
+	// devices. All devices share the interconnect.
+	Devices int
+
+	// EvictEvery enables failure injection: every EvictEvery cycles one
+	// consumer cache line (rotating deterministically over all
+	// endpoints) loses residency, as a cache conflict would cause. The
+	// system must deliver every message regardless — pushes to the
+	// evicted line miss and retry, and the consumer refetches on its
+	// next access. 0 disables.
+	EvictEvery uint64
+
+	// Deadline bounds simulated time; Run panics past it (default 2^40,
+	// effectively unlimited but converts livelock into a loud failure).
+	Deadline uint64
+}
+
+// Thread is an application thread pinned to a simulated core ("each
+// thread is assigned to a core", §4.1).
+type Thread struct {
+	// Proc is the underlying simulation process; queue operations and
+	// Compute charge time to it.
+	Proc *sim.Proc
+	// Core is the core index the thread is pinned to.
+	Core int
+}
+
+// Compute charges d cycles of local work to the thread — the per-message
+// processing between queue operations.
+func (t *Thread) Compute(d uint64) { t.Proc.Sleep(d) }
+
+// Now reports the current simulated tick.
+func (t *Thread) Now() uint64 { return t.Proc.Now() }
+
+// System is one simulated machine: kernel, bus, routing device(s),
+// queue library, and the application threads spawned onto it.
+type System struct {
+	cfg Config
+
+	kernel *sim.Kernel
+	bus    *noc.Bus
+	as     *mem.AddressSpace
+
+	// One slice entry per routing device; index 0 is the primary the
+	// single-device accessors expose.
+	devs  []*vl.Device
+	specs []*core.SpecBuf
+	libs  []*vlq.Lib
+
+	nextDev int
+
+	threads []*Thread
+	queues  []*Queue
+
+	ran    bool
+	result Result
+}
+
+// NewSystem builds a system per cfg.
+func NewSystem(cfg Config) *System {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgBaseline
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 1 << 40
+	}
+	k := sim.New()
+	k.SetDeadline(cfg.Deadline)
+	hop := cfg.HopLatency
+	if hop == 0 {
+		hop = config.HopCycles
+	}
+	bus := noc.NewWithOptions(k, hop, cfg.BusChannels)
+	as := mem.NewAddressSpace(k)
+
+	ndev := cfg.Devices
+	if ndev <= 0 {
+		ndev = 1
+	}
+	s := &System{cfg: cfg, kernel: k, bus: bus, as: as}
+	for i := 0; i < ndev; i++ {
+		dev := vl.New(k, bus, as, cfg.SRD)
+		if cfg.Algorithm != AlgBaseline {
+			alg, ok := algorithm(cfg)
+			if !ok {
+				panic(fmt.Sprintf("spamer: unknown algorithm %q", cfg.Algorithm))
+			}
+			n := cfg.SRD.LinkEntries
+			if n == 0 {
+				n = config.SRDEntries
+			}
+			spec := core.NewSpecBuf(n, alg)
+			dev.SetSpecExtension(spec)
+			s.specs = append(s.specs, spec)
+		}
+		ii := isa.New(k, bus, dev)
+		lib := vlq.New(k, as, dev, ii)
+		lib.Inlined = !cfg.NoInline
+		s.devs = append(s.devs, dev)
+		s.libs = append(s.libs, lib)
+	}
+	return s
+}
+
+func algorithm(cfg Config) (core.DelayAlgorithm, bool) {
+	if cfg.CustomAlgorithm != nil {
+		return cfg.CustomAlgorithm, true
+	}
+	if cfg.Algorithm == AlgTuned && cfg.Tuned != (config.TunedParams{}) {
+		return core.Tuned{P: cfg.Tuned}, true
+	}
+	return core.ByName(cfg.Algorithm)
+}
+
+// Speculative reports whether the system runs SPAMeR routing devices
+// (any algorithm) rather than the VL baseline.
+func (s *System) Speculative() bool { return len(s.specs) > 0 }
+
+// AlgorithmName reports the configured algorithm ("vl", "0delay", ...).
+func (s *System) AlgorithmName() string { return s.cfg.Algorithm }
+
+// Kernel exposes the simulation kernel (advanced use: custom events).
+func (s *System) Kernel() *sim.Kernel { return s.kernel }
+
+// Bus exposes the coherence-network bus (advanced use: custom traffic).
+func (s *System) Bus() *noc.Bus { return s.bus }
+
+// Device exposes the primary routing device (advanced use: direct
+// inspection). Multi-device systems expose the rest via Devices.
+func (s *System) Device() *vl.Device { return s.devs[0] }
+
+// Devices exposes every routing device.
+func (s *System) Devices() []*vl.Device { return s.devs }
+
+// SpecBuf exposes the primary device's specBuf, or nil on the VL
+// baseline.
+func (s *System) SpecBuf() *core.SpecBuf {
+	if len(s.specs) == 0 {
+		return nil
+	}
+	return s.specs[0]
+}
+
+// Spawn adds an application thread. The body runs as a simulation
+// process starting at tick 0; threads are pinned round-robin to the
+// Table 1 cores. Spawn panics once Run has been called.
+func (s *System) Spawn(name string, body func(t *Thread)) *Thread {
+	if s.ran {
+		panic("spamer: Spawn after Run")
+	}
+	t := &Thread{Core: len(s.threads) % config.NumCores}
+	s.threads = append(s.threads, t)
+	t.Proc = s.kernel.Go(name, func(p *sim.Proc) { body(t) })
+	return t
+}
+
+// Threads reports how many threads have been spawned.
+func (s *System) Threads() int { return len(s.threads) }
+
+// Run drives the simulation until every thread finishes, then gathers
+// the Result. Run may be called once.
+func (s *System) Run() Result {
+	if s.ran {
+		panic("spamer: Run called twice")
+	}
+	s.ran = true
+	if s.cfg.EvictEvery > 0 {
+		s.startEvictionInjector(s.cfg.EvictEvery)
+	}
+	s.kernel.Run()
+	if live := s.kernel.LiveProcs(); live != 0 {
+		panic(fmt.Sprintf("spamer: deadlock — %d threads still parked with no pending events", live))
+	}
+	s.result = s.collect()
+	return s.result
+}
+
+func (s *System) collect() Result {
+	r := Result{
+		Algorithm:      s.cfg.Algorithm,
+		Ticks:          s.kernel.Now(),
+		Bus:            s.bus.Stats(),
+		BusUtilization: s.bus.Utilization(),
+	}
+	for i, d := range s.devs {
+		st := d.Stats()
+		if i == 0 {
+			r.Device = st
+		} else {
+			r.Device = addStats(r.Device, st)
+		}
+	}
+	r.MS = config.TicksToMS(r.Ticks)
+	var consumers int
+	for _, q := range s.queues {
+		r.Pushed += q.inner.Pushed()
+		r.Popped += q.inner.Popped()
+		for _, c := range q.inner.Consumers() {
+			consumers++
+			e, v := mem.Occupancy(c.Lines())
+			r.EmptyTicks += e
+			r.NonEmptyTicks += v
+			r.ConsumerLines += len(c.Lines())
+		}
+	}
+	if r.ConsumerLines > 0 {
+		r.AvgEmptyTicks = float64(r.EmptyTicks) / float64(r.ConsumerLines)
+		r.AvgNonEmptyTicks = float64(r.NonEmptyTicks) / float64(r.ConsumerLines)
+	}
+	return r
+}
+
+// startEvictionInjector arms the failure injector: a recurring event
+// that evicts consumer lines in a deterministic rotation. Endpoints are
+// discovered lazily (threads create them after startup).
+func (s *System) startEvictionInjector(period uint64) {
+	victim := 0
+	var tick func()
+	tick = func() {
+		if s.kernel.LiveProcs() == 0 {
+			return
+		}
+		var lines []*mem.Line
+		for _, q := range s.queues {
+			for _, c := range q.inner.Consumers() {
+				lines = append(lines, c.Lines()...)
+			}
+		}
+		if len(lines) > 0 {
+			lines[victim%len(lines)].Evict()
+			victim++
+		}
+		s.kernel.After(period, tick)
+	}
+	s.kernel.After(period, tick)
+}
+
+// addStats sums two device counter snapshots (multi-device systems).
+func addStats(a, b vl.Stats) vl.Stats {
+	return vl.Stats{
+		PushAccepts:   a.PushAccepts + b.PushAccepts,
+		PushNACKs:     a.PushNACKs + b.PushNACKs,
+		Fetches:       a.Fetches + b.Fetches,
+		FetchNACKs:    a.FetchNACKs + b.FetchNACKs,
+		Registers:     a.Registers + b.Registers,
+		DemandPushes:  a.DemandPushes + b.DemandPushes,
+		DemandHits:    a.DemandHits + b.DemandHits,
+		DemandMisses:  a.DemandMisses + b.DemandMisses,
+		SpecScheduled: a.SpecScheduled + b.SpecScheduled,
+		SpecPushes:    a.SpecPushes + b.SpecPushes,
+		SpecHits:      a.SpecHits + b.SpecHits,
+		SpecMisses:    a.SpecMisses + b.SpecMisses,
+	}
+}
+
+// Result carries the metrics of one completed run.
+type Result struct {
+	Algorithm string
+
+	// Ticks is the end-to-end execution time in cycles; MS converts to
+	// milliseconds at the Table 1 clock.
+	Ticks uint64
+	MS    float64
+
+	// Pushed and Popped count messages through all queues; equal runs
+	// conserve messages.
+	Pushed, Popped uint64
+
+	// Device and Bus are the raw counter snapshots.
+	Device vl.Stats
+	Bus    noc.Stats
+
+	// BusUtilization is the Figure 10b metric.
+	BusUtilization float64
+
+	// EmptyTicks/NonEmptyTicks integrate consumer-line occupancy over
+	// all consumer lines; the Avg forms divide by ConsumerLines —
+	// the Figure 9 breakdown ("average consumer cacheline empty
+	// cycles" vs non-empty).
+	EmptyTicks, NonEmptyTicks uint64
+	ConsumerLines             int
+	AvgEmptyTicks             float64
+	AvgNonEmptyTicks          float64
+}
+
+// FailureRate is the Figure 10a metric: failed pushes out of all pushes.
+func (r Result) FailureRate() float64 { return r.Device.FailureRate() }
+
+// Speedup reports baseline.Ticks / r.Ticks — how much faster r is.
+func (r Result) Speedup(baseline Result) float64 {
+	if r.Ticks == 0 {
+		return 0
+	}
+	return float64(baseline.Ticks) / float64(r.Ticks)
+}

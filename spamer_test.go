@@ -1,0 +1,295 @@
+package spamer
+
+import (
+	"testing"
+)
+
+// runOneToOne runs a 1:1 queue with n messages and the given per-message
+// consumer compute cost, returning the result.
+func runOneToOne(t *testing.T, alg string, n int, computeCycles uint64) Result {
+	t.Helper()
+	sys := NewSystem(Config{Algorithm: alg, Deadline: 1 << 30})
+	q := sys.NewQueue("q")
+	sys.Spawn("producer", func(th *Thread) {
+		pr := q.NewProducer(0)
+		for i := 0; i < n; i++ {
+			pr.Push(th.Proc, uint64(i))
+		}
+	})
+	sys.Spawn("consumer", func(th *Thread) {
+		c := q.NewConsumer(th.Proc, 4)
+		for i := 0; i < n; i++ {
+			msg := c.Pop(th.Proc)
+			if msg.Seq != uint64(i) {
+				t.Errorf("%s: message %d has seq %d (FIFO violation)", alg, i, msg.Seq)
+			}
+			th.Compute(computeCycles)
+		}
+	})
+	res := sys.Run()
+	if res.Pushed != uint64(n) || res.Popped != uint64(n) {
+		t.Fatalf("%s: pushed=%d popped=%d, want %d", alg, res.Pushed, res.Popped, n)
+	}
+	return res
+}
+
+func TestOneToOneAllConfigs(t *testing.T) {
+	for _, alg := range Configs() {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			res := runOneToOne(t, alg, 200, 20)
+			if res.Ticks == 0 {
+				t.Fatal("zero execution time")
+			}
+			if alg == AlgBaseline {
+				if res.Device.SpecPushes != 0 {
+					t.Fatalf("baseline issued %d spec pushes", res.Device.SpecPushes)
+				}
+			} else {
+				if res.Device.SpecPushes == 0 {
+					t.Fatalf("%s issued no spec pushes", alg)
+				}
+				if res.Device.Fetches != 0 {
+					t.Fatalf("%s: spec-enabled consumer issued %d fetches", alg, res.Device.Fetches)
+				}
+			}
+		})
+	}
+}
+
+// TestSpeculationHelpsFastConsumer: with consumer compute well below the
+// request round trip, SPAMeR should beat VL (the core claim).
+func TestSpeculationHelpsFastConsumer(t *testing.T) {
+	base := runOneToOne(t, AlgBaseline, 500, 10)
+	for _, alg := range []string{AlgZeroDelay, AlgTuned} {
+		s := runOneToOne(t, alg, 500, 10)
+		if sp := s.Speedup(base); sp < 1.02 {
+			t.Errorf("%s speedup = %.3f, want > 1.02 (VL %d ticks, %s %d ticks)",
+				alg, sp, base.Ticks, alg, s.Ticks)
+		}
+	}
+}
+
+// TestProducerBoundNeutral: with an expensive producer the consumer is
+// always ready, so speculation cannot help much — but must not hurt
+// badly either (ping-pong/sweep behaviour in Figure 8).
+func TestProducerBoundNeutral(t *testing.T) {
+	mk := func(alg string) Result {
+		sys := NewSystem(Config{Algorithm: alg, Deadline: 1 << 30})
+		q := sys.NewQueue("q")
+		const n = 200
+		sys.Spawn("producer", func(th *Thread) {
+			pr := q.NewProducer(0)
+			for i := 0; i < n; i++ {
+				th.Compute(300) // slow producer
+				pr.Push(th.Proc, uint64(i))
+			}
+		})
+		sys.Spawn("consumer", func(th *Thread) {
+			c := q.NewConsumer(th.Proc, 4)
+			for i := 0; i < n; i++ {
+				c.Pop(th.Proc)
+			}
+		})
+		return sys.Run()
+	}
+	base := mk(AlgBaseline)
+	spec := mk(AlgZeroDelay)
+	sp := spec.Speedup(base)
+	if sp < 0.9 || sp > 1.15 {
+		t.Errorf("producer-bound speedup = %.3f, want ~1.0", sp)
+	}
+}
+
+// TestMNDeliveryExactlyOnce: a 3:2 queue delivers each message once.
+func TestMNDeliveryExactlyOnce(t *testing.T) {
+	for _, alg := range Configs() {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			sys := NewSystem(Config{Algorithm: alg, Deadline: 1 << 30})
+			q := sys.NewQueue("mn")
+			const perProd, nProd, nCons = 60, 3, 2
+			total := perProd * nProd
+			for p := 0; p < nProd; p++ {
+				sys.Spawn("producer", func(th *Thread) {
+					pr := q.NewProducer(0)
+					for i := 0; i < perProd; i++ {
+						th.Compute(15)
+						pr.Push(th.Proc, uint64(i))
+					}
+				})
+			}
+			got := make(chan [2]uint64, total)
+			done := make([]int, nCons)
+			for cidx := 0; cidx < nCons; cidx++ {
+				cidx := cidx
+				sys.Spawn("consumer", func(th *Thread) {
+					c := q.NewConsumer(th.Proc, 4)
+					// Consumers split the work statically to avoid a
+					// termination race; total is divisible by nCons.
+					for i := 0; i < total/nCons; i++ {
+						m := c.Pop(th.Proc)
+						got <- [2]uint64{uint64(m.Src), m.Seq}
+						done[cidx]++
+						th.Compute(25)
+					}
+				})
+			}
+			res := sys.Run()
+			close(got)
+			if res.Popped != uint64(total) {
+				t.Fatalf("popped %d, want %d", res.Popped, total)
+			}
+			seen := map[[2]uint64]int{}
+			for m := range got {
+				seen[m]++
+			}
+			if len(seen) != total {
+				t.Fatalf("distinct = %d, want %d", len(seen), total)
+			}
+			for k, n := range seen {
+				if n != 1 {
+					t.Fatalf("message %v seen %d times", k, n)
+				}
+			}
+			for c, n := range done {
+				if n == 0 {
+					t.Errorf("consumer %d starved", c)
+				}
+			}
+		})
+	}
+}
+
+// TestPerProducerFIFO: each producer's messages arrive in order at a 1:1
+// consumer even under retries.
+func TestPerProducerFIFO(t *testing.T) {
+	for _, alg := range Configs() {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			sys := NewSystem(Config{Algorithm: alg, Deadline: 1 << 30})
+			q := sys.NewQueue("fifo")
+			const n = 300
+			sys.Spawn("producer", func(th *Thread) {
+				pr := q.NewProducer(0)
+				for i := 0; i < n; i++ {
+					pr.Push(th.Proc, uint64(i))
+				}
+			})
+			sys.Spawn("consumer", func(th *Thread) {
+				c := q.NewConsumer(th.Proc, 2) // small buffer: more retries
+				last := int64(-1)
+				for i := 0; i < n; i++ {
+					m := c.Pop(th.Proc)
+					if int64(m.Seq) != last+1 {
+						t.Errorf("seq %d after %d", m.Seq, last)
+					}
+					last = int64(m.Seq)
+					// Bursty consumption provokes failed pushes.
+					if i%10 == 9 {
+						th.Compute(400)
+					}
+				}
+			})
+			sys.Run()
+		})
+	}
+}
+
+// TestLegacyEndpointOnSpamer: the §3.4 legacy option — a demand-driven
+// endpoint on a SPAMeR system still works and draws no spec pushes.
+func TestLegacyEndpointOnSpamer(t *testing.T) {
+	sys := NewSystem(Config{Algorithm: AlgZeroDelay, Deadline: 1 << 30})
+	q := sys.NewQueue("legacy")
+	const n = 100
+	sys.Spawn("producer", func(th *Thread) {
+		pr := q.NewProducer(0)
+		for i := 0; i < n; i++ {
+			pr.Push(th.Proc, uint64(i))
+		}
+	})
+	sys.Spawn("consumer", func(th *Thread) {
+		c := q.NewConsumerLegacy(th.Proc, 4)
+		if c.SpecEnabled() {
+			t.Error("legacy endpoint is spec-enabled")
+		}
+		for i := 0; i < n; i++ {
+			c.Pop(th.Proc)
+		}
+	})
+	res := sys.Run()
+	if res.Device.SpecPushes != 0 {
+		t.Fatalf("legacy endpoint drew %d spec pushes", res.Device.SpecPushes)
+	}
+	if res.Device.Fetches == 0 {
+		t.Fatal("legacy endpoint issued no fetches")
+	}
+}
+
+// TestDeterministicRuns: identical configurations produce identical
+// results.
+func TestDeterministicRuns(t *testing.T) {
+	a := runOneToOne(t, AlgTuned, 150, 30)
+	b := runOneToOne(t, AlgTuned, 150, 30)
+	if a.Ticks != b.Ticks || a.Device != b.Device {
+		t.Fatalf("nondeterminism: %+v vs %+v", a, b)
+	}
+}
+
+// TestOccupancyAccounting: empty + non-empty integrals cover the full
+// run for every consumer line.
+func TestOccupancyAccounting(t *testing.T) {
+	res := runOneToOne(t, AlgBaseline, 100, 20)
+	perLine := res.EmptyTicks + res.NonEmptyTicks
+	if perLine != uint64(res.ConsumerLines)*res.Ticks {
+		t.Fatalf("occupancy %d != lines %d * ticks %d", perLine, res.ConsumerLines, res.Ticks)
+	}
+}
+
+// TestInlineKnob: the non-inlined library is slower (the §3.4/§4.3
+// inlining experiment).
+func TestInlineKnob(t *testing.T) {
+	run := func(noInline bool) Result {
+		sys := NewSystem(Config{Algorithm: AlgBaseline, NoInline: noInline, Deadline: 1 << 30})
+		q := sys.NewQueue("q")
+		const n = 200
+		sys.Spawn("producer", func(th *Thread) {
+			pr := q.NewProducer(0)
+			for i := 0; i < n; i++ {
+				pr.Push(th.Proc, uint64(i))
+			}
+		})
+		sys.Spawn("consumer", func(th *Thread) {
+			c := q.NewConsumer(th.Proc, 4)
+			for i := 0; i < n; i++ {
+				c.Pop(th.Proc)
+			}
+		})
+		return sys.Run()
+	}
+	inlined := run(false)
+	called := run(true)
+	if called.Ticks <= inlined.Ticks {
+		t.Fatalf("inlining did not help: inlined %d, called %d", inlined.Ticks, called.Ticks)
+	}
+}
+
+func TestSpawnAfterRunPanics(t *testing.T) {
+	sys := NewSystem(Config{})
+	sys.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("Spawn after Run did not panic")
+		}
+	}()
+	sys.Spawn("late", func(t *Thread) {})
+}
+
+func TestUnknownAlgorithmPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown algorithm did not panic")
+		}
+	}()
+	NewSystem(Config{Algorithm: "bogus"})
+}
