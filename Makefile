@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench repro figures trace sweep latency area ablate tune clean
+.PHONY: all check build vet test test-race bench repro figures trace sweep latency area ablate tune clean
 
-all: build vet test
+all: check
+
+# Everything CI runs: compile, vet, unit tests, and the race detector
+# pass over the parallel harness.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,6 +18,9 @@ vet:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 # Full benchmark pass: every table/figure as a testing.B target.
 bench:

@@ -6,24 +6,38 @@
 // count — explicitly deferred by the paper); and the performance cost
 // of the §3.6 timing-obfuscation mitigation.
 //
+// Every study is a set of independent simulations; -parallel fans them
+// across a bounded worker pool (internal/harness) with output identical
+// to a sequential run.
+//
 // Usage:
 //
-//	spamer-ablate [-what predictors|srd|hop|channels|devices|obfuscation|all] [-scale N]
+//	spamer-ablate [-what predictors|srd|hop|channels|devices|obfuscation|all] [-scale N] [-parallel N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"spamer/internal/experiments"
+	"spamer/internal/harness"
 	"spamer/internal/report"
 )
+
+var workers int
+
+func opts(prefix string) harness.Options {
+	return harness.Options{Workers: workers, OnProgress: harness.ProgressPrinter(os.Stderr, prefix)}
+}
 
 func main() {
 	what := flag.String("what", "all", "study: predictors|srd|hop|channels|devices|obfuscation|all")
 	scale := flag.Int("scale", 1, "message-count multiplier")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	workers = *parallel
 
 	run := map[string]func(int){
 		"predictors":  predictors,
@@ -50,7 +64,11 @@ func main() {
 
 func predictors(scale int) {
 	fmt.Println("Ablation: delay-prediction algorithm space (speedup over VL)")
-	rows := experiments.PredictorStudy(scale)
+	rows, err := experiments.PredictorStudyParallel(context.Background(), scale, opts("predictors"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	names := experiments.PredictorNames()
 	table := [][]string{append([]string{"benchmark"}, names...)}
 	for _, r := range rows {
@@ -65,7 +83,7 @@ func predictors(scale int) {
 
 func srd(scale int) {
 	fmt.Println("Ablation: SRD structure sizing on firewall (tuned vs VL at each size)")
-	points, err := experiments.SRDEntriesSweep("firewall", []int{8, 16, 32, 64, 128}, scale)
+	points, err := experiments.SRDEntriesSweepParallel(context.Background(), "firewall", []int{8, 16, 32, 64, 128}, scale, opts("srd"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -75,7 +93,7 @@ func srd(scale int) {
 
 func hop(scale int) {
 	fmt.Println("Ablation: hop latency on FIR (0delay vs VL at each latency)")
-	points, err := experiments.HopLatencySweep("FIR", []uint64{6, 12, 24, 48}, scale)
+	points, err := experiments.HopLatencySweepParallel(context.Background(), "FIR", []uint64{6, 12, 24, 48}, scale, opts("hop"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -85,7 +103,7 @@ func hop(scale int) {
 
 func channels(scale int) {
 	fmt.Println("Ablation: interconnect channels on halo (0delay vs VL at each width)")
-	points, err := experiments.BusChannelsSweep("halo", []int{1, 2, 4, 8}, scale)
+	points, err := experiments.BusChannelsSweepParallel(context.Background(), "halo", []int{1, 2, 4, 8}, scale, opts("channels"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -95,7 +113,7 @@ func channels(scale int) {
 
 func devices(scale int) {
 	fmt.Println("Ablation: routing devices on halo (0delay vs VL at each count)")
-	points, err := experiments.DevicesSweep("halo", []int{1, 2, 4}, scale)
+	points, err := experiments.DevicesSweepParallel(context.Background(), "halo", []int{1, 2, 4}, scale, opts("devices"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -105,7 +123,11 @@ func devices(scale int) {
 
 func obfuscation(scale int) {
 	fmt.Println("Ablation: §3.6 timing obfuscation cost (tuned, 32-cycle jitter bound)")
-	rows := experiments.ObfuscationStudy(32, scale)
+	rows, err := experiments.ObfuscationStudyParallel(context.Background(), 32, scale, opts("obfuscation"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	table := [][]string{{"benchmark", "plain (cycles)", "obfuscated", "overhead"}}
 	for _, r := range rows {
 		table = append(table, []string{

@@ -4,33 +4,50 @@
 // breakdown), Figure 10 (push failure rates and bus utilization), and
 // the §4.3 library-inlining study.
 //
+// The matrix cells and inlining pairs are independent simulations;
+// -parallel fans them across a bounded worker pool (internal/harness)
+// with output identical to a sequential run.
+//
 // Usage:
 //
-//	spamer-bench [-what all|config|workloads|fig8|fig9|fig10|inline] [-scale N]
+//	spamer-bench [-what all|config|workloads|fig8|fig9|fig10|inline] [-scale N] [-parallel N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 
 	"spamer/internal/experiments"
+	"spamer/internal/harness"
 	"spamer/internal/report"
 )
+
+var pool harness.Options
 
 func main() {
 	what := flag.String("what", "all", "which artifact to regenerate: all|config|workloads|fig8|fig9|fig10|inline")
 	scale := flag.Int("scale", 1, "message-count multiplier for every workload")
 	svgDir := flag.String("svg", "", "also write figure SVGs into this directory")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	pool = harness.Options{Workers: *parallel}
 
 	needMatrix := map[string]bool{"all": true, "fig8": true, "fig9": true, "fig10": true}
 	var m *experiments.Matrix
 	if needMatrix[*what] {
-		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d configurations (scale %d)...\n",
-			8, 4, *scale)
-		m = experiments.RunMatrix(*scale)
+		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d configurations (scale %d) on %d workers...\n",
+			8, 4, *scale, harness.Workers(*parallel))
+		var err error
+		pool.OnProgress = harness.ProgressPrinter(os.Stderr, "matrix")
+		m, err = experiments.RunMatrixParallel(context.Background(), *scale, pool)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pool.OnProgress = nil
 	}
 
 	if *svgDir != "" && m != nil {
@@ -206,7 +223,13 @@ func printFig10(m *experiments.Matrix) {
 }
 
 func printInline(scale int) {
-	rows := experiments.InlineStudy(scale)
+	opts := pool
+	opts.OnProgress = harness.ProgressPrinter(os.Stderr, "inline")
+	rows, err := experiments.InlineStudyParallel(context.Background(), scale, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Println("§4.3 library inlining study (VL baseline, inlined vs function-call)")
 	table := [][]string{{"benchmark", "inline speedup"}}
 	prod := 1.0

@@ -4,18 +4,25 @@
 // normalized dynamic energy of SRD pushes, per benchmark, with the
 // baseline at (1, 1).
 //
+// The grid points of every benchmark are independent simulations;
+// -parallel fans them across a bounded worker pool (internal/harness)
+// while keeping the printed output identical to a sequential run.
+//
 // Usage:
 //
-//	spamer-sweep [-bench FIR,firewall,...] [-scale N]
+//	spamer-sweep [-bench FIR,firewall,...] [-scale N] [-parallel N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"spamer/internal/experiments"
+	"spamer/internal/harness"
 	"spamer/internal/report"
 	"spamer/internal/workloads"
 )
@@ -25,6 +32,7 @@ func main() {
 		"comma-separated benchmarks to sweep")
 	scale := flag.Int("scale", 1, "message-count multiplier")
 	svgDir := flag.String("svg", "", "also write per-benchmark scatter SVGs into this directory")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *svgDir != "" {
@@ -34,16 +42,22 @@ func main() {
 		}
 	}
 
+	start := time.Now()
+	runs := 0
 	for _, name := range strings.Split(*benchList, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		points, err := experiments.Figure11(name, *scale)
+		points, err := experiments.Figure11Parallel(context.Background(), name, *scale, harness.Options{
+			Workers:    *parallel,
+			OnProgress: harness.ProgressPrinter(os.Stderr, "fig11 "+name),
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		runs += len(points)
 		labels := make([]string, len(points))
 		xs := make([]float64, len(points))
 		ys := make([]float64, len(points))
@@ -66,5 +80,9 @@ func main() {
 		}
 		fmt.Println()
 	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "sweep: %d simulations on %d workers in %v (%.1f runs/s)\n",
+		runs, harness.Workers(*parallel), elapsed.Round(time.Millisecond),
+		float64(runs)/elapsed.Seconds())
 	fmt.Println("closer to the origin is better; VL(baseline) anchors (1, 1)")
 }

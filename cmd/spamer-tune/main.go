@@ -4,9 +4,13 @@
 // and report the improvement against the Figure 11 objective (distance
 // from the origin in normalized delay/energy space).
 //
+// Each coordinate-descent round's candidate neighbours are independent
+// simulations; -parallel evaluates them on a bounded worker pool
+// (internal/harness) without changing the search trajectory.
+//
 // Usage:
 //
-//	spamer-tune [-bench FIR,halo,...] [-rounds N] [-scale N]
+//	spamer-tune [-bench FIR,halo,...] [-rounds N] [-scale N] [-parallel N]
 package main
 
 import (
@@ -14,7 +18,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"spamer/internal/harness"
 	"spamer/internal/report"
 	"spamer/internal/tuner"
 	"spamer/internal/workloads"
@@ -24,6 +30,7 @@ func main() {
 	benchList := flag.String("bench", strings.Join(workloads.Names(), ","), "benchmarks to tune")
 	rounds := flag.Int("rounds", 6, "coordinate-descent rounds")
 	scale := flag.Int("scale", 1, "message-count multiplier")
+	parallel := flag.Int("parallel", 0, "worker pool size for each round's candidate evaluations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	table := [][]string{{"benchmark", "published score", "best score", "best params", "gain", "evals"}}
@@ -38,8 +45,13 @@ func main() {
 			os.Exit(1)
 		}
 		s.MaxRounds = *rounds
-		fmt.Fprintf(os.Stderr, "tuning %s...\n", name)
+		s.Workers = *parallel
+		fmt.Fprintf(os.Stderr, "tuning %s (%d workers)...\n", name, harness.Workers(*parallel))
+		start := time.Now()
 		res := s.Run()
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "tuned %s: %d evals in %v (%.1f runs/s)\n",
+			name, res.Evals, elapsed.Round(time.Millisecond), float64(res.Evals)/elapsed.Seconds())
 		table = append(table, []string{
 			res.Benchmark,
 			fmt.Sprintf("%.4f", res.Start.Score),

@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
-	"spamer"
 	"spamer/internal/core"
-	"spamer/internal/vl"
-	"spamer/internal/workloads"
+	"spamer/internal/harness"
 )
 
 // Ablation studies for the design choices DESIGN.md calls out, beyond
@@ -22,17 +20,12 @@ type PredictorRow struct {
 	Speedups  map[string]float64 // algorithm name -> speedup over VL
 }
 
-// PredictorStudy runs every extended algorithm on every benchmark.
+// PredictorStudy runs every extended algorithm on every benchmark,
+// fanned across the harness pool.
 func PredictorStudy(scale int) []PredictorRow {
-	var rows []PredictorRow
-	for _, w := range workloads.All() {
-		base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, Deadline: 1 << 40}, scale)
-		row := PredictorRow{Benchmark: w.Name, Speedups: map[string]float64{}}
-		for _, alg := range core.ExtendedAlgorithms() {
-			res := w.Run(spamer.Config{Algorithm: "custom", CustomAlgorithm: alg, Deadline: 1 << 40}, scale)
-			row.Speedups[alg.Name()] = res.Speedup(base)
-		}
-		rows = append(rows, row)
+	rows, err := PredictorStudyParallel(context.Background(), scale, harness.Options{})
+	if err != nil {
+		panic(err)
 	}
 	return rows
 }
@@ -57,50 +50,19 @@ type SweepPoint struct {
 // benchmark, with the tuned algorithm (firewall by default exercises
 // backpressure at small sizes; halo needs >= 48 linkTab rows).
 func SRDEntriesSweep(bench string, sizes []int, scale int) ([]SweepPoint, error) {
-	w, ok := workloads.ByName(bench)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
-	}
-	var out []SweepPoint
-	for _, n := range sizes {
-		cfg := vl.Config{ProdEntries: n, ConsEntries: n, LinkEntries: maxInt(n, 64)}
-		base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, SRD: cfg, Deadline: 1 << 40}, scale)
-		res := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, SRD: cfg, Deadline: 1 << 40}, scale)
-		out = append(out, SweepPoint{X: n, Ticks: res.Ticks, Speedup: res.Speedup(base)})
-	}
-	return out, nil
+	return SRDEntriesSweepParallel(context.Background(), bench, sizes, scale, harness.Options{})
 }
 
 // HopLatencySweep varies the one-way core<->device hop latency — the
 // topology dimension the paper defers ("the impact of topology ... are
 // not the focus of this paper").
 func HopLatencySweep(bench string, hops []uint64, scale int) ([]SweepPoint, error) {
-	w, ok := workloads.ByName(bench)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
-	}
-	var out []SweepPoint
-	for _, h := range hops {
-		base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, HopLatency: h, Deadline: 1 << 40}, scale)
-		res := w.Run(spamer.Config{Algorithm: spamer.AlgZeroDelay, HopLatency: h, Deadline: 1 << 40}, scale)
-		out = append(out, SweepPoint{X: int(h), Ticks: res.Ticks, Speedup: res.Speedup(base)})
-	}
-	return out, nil
+	return HopLatencySweepParallel(context.Background(), bench, hops, scale, harness.Options{})
 }
 
 // BusChannelsSweep varies the interconnect parallelism.
 func BusChannelsSweep(bench string, channels []int, scale int) ([]SweepPoint, error) {
-	w, ok := workloads.ByName(bench)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
-	}
-	var out []SweepPoint
-	for _, c := range channels {
-		base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, BusChannels: c, Deadline: 1 << 40}, scale)
-		res := w.Run(spamer.Config{Algorithm: spamer.AlgZeroDelay, BusChannels: c, Deadline: 1 << 40}, scale)
-		out = append(out, SweepPoint{X: c, Ticks: res.Ticks, Speedup: res.Speedup(base)})
-	}
-	return out, nil
+	return BusChannelsSweepParallel(context.Background(), bench, channels, scale, harness.Options{})
 }
 
 // DevicesSweep varies the number of routing devices — the multi-router
@@ -108,17 +70,7 @@ func BusChannelsSweep(bench string, channels []int, scale int) ([]SweepPoint, er
 // round-robin, relieving per-device mapping-pipeline and send-port
 // contention on many-queue workloads.
 func DevicesSweep(bench string, devices []int, scale int) ([]SweepPoint, error) {
-	w, ok := workloads.ByName(bench)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
-	}
-	var out []SweepPoint
-	for _, d := range devices {
-		base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, Devices: d, Deadline: 1 << 40}, scale)
-		res := w.Run(spamer.Config{Algorithm: spamer.AlgZeroDelay, Devices: d, Deadline: 1 << 40}, scale)
-		out = append(out, SweepPoint{X: d, Ticks: res.Ticks, Speedup: res.Speedup(base)})
-	}
-	return out, nil
+	return DevicesSweepParallel(context.Background(), bench, devices, scale, harness.Options{})
 }
 
 // ObfuscationRow compares a benchmark's tuned run with and without the
@@ -132,23 +84,11 @@ type ObfuscationRow struct {
 }
 
 // ObfuscationStudy measures the performance cost of the side-channel
-// mitigation across benchmarks.
+// mitigation across benchmarks, fanned across the harness pool.
 func ObfuscationStudy(jitter uint64, scale int) []ObfuscationRow {
-	var rows []ObfuscationRow
-	for _, w := range workloads.All() {
-		plain := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 40}, scale)
-		obf := w.Run(spamer.Config{
-			Algorithm:       "custom",
-			CustomAlgorithm: core.Obfuscated{Inner: core.NewTuned(), Key: 0x5eed, MaxJitter: jitter},
-			Deadline:        1 << 40,
-		}, scale)
-		rows = append(rows, ObfuscationRow{
-			Benchmark: w.Name,
-			Jitter:    jitter,
-			Plain:     plain.Ticks,
-			Obf:       obf.Ticks,
-			Overhead:  float64(obf.Ticks)/float64(plain.Ticks) - 1,
-		})
+	rows, err := ObfuscationStudyParallel(context.Background(), jitter, scale, harness.Options{})
+	if err != nil {
+		panic(err)
 	}
 	return rows
 }

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"spamer/internal/config"
 	"spamer/internal/core"
 	"spamer/internal/energy"
+	"spamer/internal/harness"
 	"spamer/internal/swqueue"
 	"spamer/internal/trace"
 	"spamer/internal/workloads"
@@ -26,18 +28,14 @@ type Matrix struct {
 	Results    map[string]map[string]spamer.Result
 }
 
-// RunMatrix executes every benchmark under every configuration.
+// RunMatrix executes every benchmark under every configuration. It
+// fans the independent cells across the harness pool; results are
+// identical to a sequential loop (each cell is a deterministic,
+// single-threaded system).
 func RunMatrix(scale int) *Matrix {
-	m := &Matrix{
-		Benchmarks: workloads.Names(),
-		Configs:    spamer.Configs(),
-		Results:    map[string]map[string]spamer.Result{},
-	}
-	for _, w := range workloads.All() {
-		m.Results[w.Name] = map[string]spamer.Result{}
-		for _, alg := range m.Configs {
-			m.Results[w.Name][alg] = w.Run(spamer.Config{Algorithm: alg, Deadline: 1 << 40}, scale)
-		}
+	m, err := RunMatrixParallel(context.Background(), scale, harness.Options{})
+	if err != nil {
+		panic(err)
 	}
 	return m
 }
@@ -234,35 +232,10 @@ func Figure11Grid() []config.TunedParams {
 
 // Figure11 sweeps one benchmark: baseline, the three named algorithms,
 // and the tuned-parameter grid, returning normalized (delay, energy)
-// points. The baseline is the (1, 1) reference.
+// points. The baseline is the (1, 1) reference. Runs fan across the
+// harness pool.
 func Figure11(benchName string, scale int) ([]Figure11Point, error) {
-	w, ok := workloads.ByName(benchName)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", benchName)
-	}
-	base := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, Deadline: 1 << 40}, scale)
-	points := []Figure11Point{{Label: "VL(baseline)", DelayNorm: 1, EnergyNorm: 1}}
-	for _, alg := range []string{spamer.AlgZeroDelay, spamer.AlgAdaptive, spamer.AlgTuned} {
-		res := w.Run(spamer.Config{Algorithm: alg, Deadline: 1 << 40}, scale)
-		points = append(points, Figure11Point{
-			Label:      "SPAMeR(" + alg + ")",
-			DelayNorm:  energy.DelayNorm(res, base),
-			EnergyNorm: energy.EnergyNorm(res, base),
-		})
-	}
-	for _, p := range Figure11Grid() {
-		if p == config.DefaultTuned() {
-			continue // already covered by the named tuned point
-		}
-		res := w.Run(spamer.Config{Algorithm: spamer.AlgTuned, Tuned: p, Deadline: 1 << 40}, scale)
-		points = append(points, Figure11Point{
-			Label:      "tuned{" + p.String() + "}",
-			Params:     p,
-			DelayNorm:  energy.DelayNorm(res, base),
-			EnergyNorm: energy.EnergyNorm(res, base),
-		})
-	}
-	return points, nil
+	return Figure11Parallel(context.Background(), benchName, scale, harness.Options{})
 }
 
 // ---------------------------------------------------------------------
@@ -277,13 +250,11 @@ type InlineStudyRow struct {
 }
 
 // InlineStudy runs every benchmark with and without inlined queue
-// functions.
+// functions, fanned across the harness pool.
 func InlineStudy(scale int) []InlineStudyRow {
-	var rows []InlineStudyRow
-	for _, w := range workloads.All() {
-		called := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, NoInline: true, Deadline: 1 << 40}, scale)
-		inlined := w.Run(spamer.Config{Algorithm: spamer.AlgBaseline, Deadline: 1 << 40}, scale)
-		rows = append(rows, InlineStudyRow{Benchmark: w.Name, Speedup: inlined.Speedup(called)})
+	rows, err := InlineStudyParallel(context.Background(), scale, harness.Options{})
+	if err != nil {
+		panic(err)
 	}
 	return rows
 }

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"spamer"
+	"spamer/internal/harness"
 	"spamer/internal/mem"
 	"spamer/internal/noc"
 	"spamer/internal/sim"
@@ -24,26 +27,12 @@ type SoftwareQueueStudyRow struct {
 	SpOverSW float64
 }
 
-// SoftwareQueueStudy runs both workloads through all three stacks.
+// SoftwareQueueStudy runs both workloads through all three stacks,
+// fanned across the harness pool.
 func SoftwareQueueStudy() []SoftwareQueueStudyRow {
-	rows := []SoftwareQueueStudyRow{
-		{
-			Workload: "chain3",
-			SWTicks:  swChain(),
-			VLTicks:  hwChain(spamer.AlgBaseline),
-			SpTicks:  hwChain(spamer.AlgZeroDelay),
-		},
-		{
-			Workload: "incast4",
-			SWTicks:  swIncast(),
-			VLTicks:  hwIncast(spamer.AlgBaseline),
-			SpTicks:  hwIncast(spamer.AlgZeroDelay),
-		},
-	}
-	for i := range rows {
-		r := &rows[i]
-		r.VLOverSW = float64(r.SWTicks) / float64(r.VLTicks)
-		r.SpOverSW = float64(r.SWTicks) / float64(r.SpTicks)
+	rows, err := SoftwareQueueStudyParallel(context.Background(), harness.Options{})
+	if err != nil {
+		panic(err)
 	}
 	return rows
 }

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// spin burns deterministic CPU work, standing in for one simulator run.
+func spin(n int) uint64 {
+	var acc uint64 = 0x9e3779b97f4a7c15
+	for i := 0; i < n; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 7
+		acc ^= acc << 17
+	}
+	return acc
+}
+
+// BenchmarkPool measures pool overhead and scaling: 64 CPU-bound tasks
+// at several worker counts. On a multi-core host the 4- and 8-worker
+// variants should approach the core-count speedup over 1 worker; the
+// 1-worker variant bounds the harness's own dispatch overhead.
+func BenchmarkPool(b *testing.B) {
+	const tasksPerRun = 64
+	const workPerTask = 200_000
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			tasks := make([]Task[uint64], tasksPerRun)
+			for i := range tasks {
+				tasks[i] = Task[uint64]{
+					Label: fmt.Sprintf("t%d", i),
+					Run: func(ctx context.Context) (uint64, error) {
+						return spin(workPerTask), nil
+					},
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				outs, m := Run(context.Background(), tasks, Options{Workers: workers})
+				if m.Failed != 0 || len(outs) != tasksPerRun {
+					b.Fatalf("metrics = %+v", m)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPoolDispatchOverhead isolates per-task bookkeeping with
+// near-empty tasks.
+func BenchmarkPoolDispatchOverhead(b *testing.B) {
+	tasks := make([]Task[int], 256)
+	for i := range tasks {
+		tasks[i] = Task[int]{Run: func(ctx context.Context) (int, error) { return 0, nil }}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(context.Background(), tasks, Options{Workers: 4})
+	}
+}

@@ -165,16 +165,25 @@ func (b *Bus) Stats() Stats { return b.stats }
 // Utilization reports busy channel-cycles as a fraction of elapsed
 // channel-cycles since the bus was created (or since ResetStats) — the
 // Figure 10b metric generalized to a multi-channel interconnect.
+//
+// Send charges BusyCycles at submit time for serialization that may
+// still lie in the future (a channel's freeAt can exceed Now at the end
+// of a run), so the window must extend to the last committed busy cycle:
+// elapsed time is measured to max(Now, max(freeAt)). With that window
+// the ratio is exact and never exceeds 1; it is not clamped, so any
+// future overcounting bug fails tests instead of being masked.
 func (b *Bus) Utilization() float64 {
-	elapsed := (b.k.Now() - b.stats.startTick) * uint64(len(b.freeAt))
+	end := b.k.Now()
+	for _, f := range b.freeAt {
+		if f > end {
+			end = f
+		}
+	}
+	elapsed := (end - b.stats.startTick) * uint64(len(b.freeAt))
 	if elapsed == 0 {
 		return 0
 	}
-	u := float64(b.stats.BusyCycles) / float64(elapsed)
-	if u > 1 {
-		u = 1
-	}
-	return u
+	return float64(b.stats.BusyCycles) / float64(elapsed)
 }
 
 // ResetStats zeroes the counters and restarts the utilization window.

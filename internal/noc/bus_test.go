@@ -77,20 +77,66 @@ func TestUtilization(t *testing.T) {
 	k.Run()
 }
 
-func TestUtilizationCapsAtOne(t *testing.T) {
+// TestUtilizationExactUnderOverload is the regression test for the old
+// clamp: Send charges BusyCycles at submit time for serialization that
+// happens in the future, so measuring against Now alone overcounted
+// (here 6 busy cycles against a 1-cycle window, clamped to 1.0). The
+// window must extend to the last committed busy cycle, giving the exact
+// ratio.
+func TestUtilizationExactUnderOverload(t *testing.T) {
+	k := sim.New()
+	b := NewWithOptions(k, config.HopCycles, 2)
+	k.At(0, func() {
+		// Three stashes (occupancy 2) on two channels: freeAt = [4, 2],
+		// BusyCycles = 6.
+		for i := 0; i < 3; i++ {
+			b.Send(PktStash, nil)
+		}
+	})
+	k.At(1, func() {
+		// Window extends to max(freeAt) = 4 over 2 channels: 6/8.
+		if u := b.Utilization(); u != 0.75 {
+			t.Errorf("utilization = %v, want 0.75", u)
+		}
+	})
+	k.Run()
+}
+
+// End-of-run utilization must include serialization still pending when
+// the last event fires (the Figure 10b end-of-run readout): previously
+// the window was zero cycles here and the metric collapsed to 0.
+func TestUtilizationCountsFutureSerialization(t *testing.T) {
 	k := sim.New()
 	b := New(k)
+	k.At(0, func() {
+		b.Send(PktStash, nil)
+		b.Send(PktStash, nil)
+	})
+	k.Run() // drains at tick 0; two channels stay busy until tick 2
+	if u := b.Utilization(); u != 0.5 {
+		t.Errorf("end-of-run utilization = %v, want 0.5 (4 busy / 2*4 channel-cycles)", u)
+	}
+}
+
+// Saturation pegs the metric at exactly 1, never above, with no clamp
+// in the implementation to mask overcounting.
+func TestUtilizationNeverExceedsOne(t *testing.T) {
+	k := sim.New()
+	b := NewWithOptions(k, 0, 1)
 	k.At(0, func() {
 		for i := 0; i < 100; i++ {
 			b.Send(PktStash, nil)
 		}
 	})
 	k.At(10, func() {
-		if u := b.Utilization(); u > 1 {
-			t.Errorf("utilization = %v > 1", u)
+		if u := b.Utilization(); u != 1 {
+			t.Errorf("mid-run saturated utilization = %v, want exactly 1", u)
 		}
 	})
 	k.Run()
+	if u := b.Utilization(); u != 1 {
+		t.Errorf("end-of-run saturated utilization = %v, want exactly 1", u)
+	}
 }
 
 func TestPacketCounters(t *testing.T) {

@@ -91,36 +91,43 @@ func (k *Kernel) After(d uint64, fn func()) { k.At(k.now+d, fn) }
 // remain queued; a subsequent Run continues from where it left off.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// dispatchNext pops the earliest event and runs it, enforcing the
+// invariants every run loop shares: simulated time never moves
+// backwards, and the watchdog deadline converts livelock into a loud
+// panic instead of an endless spin.
+func (k *Kernel) dispatchNext() {
+	e := heap.Pop(&k.events).(event)
+	if e.tick < k.now {
+		panic("sim: event heap went backwards")
+	}
+	k.now = e.tick
+	if k.maxTick != 0 && k.now > k.maxTick {
+		panic(fmt.Sprintf("sim: watchdog deadline %d exceeded at tick %d (%d live procs)",
+			k.maxTick, k.now, k.live))
+	}
+	k.executed++
+	e.fn()
+}
+
 // Run dispatches events in (tick, seq) order until the event queue drains,
 // Stop is called, or the watchdog deadline passes.
 func (k *Kernel) Run() {
 	k.stopped = false
 	for len(k.events) > 0 && !k.stopped {
-		e := heap.Pop(&k.events).(event)
-		if e.tick < k.now {
-			panic("sim: event heap went backwards")
-		}
-		k.now = e.tick
-		if k.maxTick != 0 && k.now > k.maxTick {
-			panic(fmt.Sprintf("sim: watchdog deadline %d exceeded at tick %d (%d live procs)",
-				k.maxTick, k.now, k.live))
-		}
-		k.executed++
-		e.fn()
+		k.dispatchNext()
 	}
 }
 
-// RunUntil dispatches events with tick <= t, then sets now = t.
+// RunUntil dispatches events with tick <= t, then sets now = t. It
+// enforces the same watchdog and monotone-time guards as Run, so a
+// livelock below t panics rather than spinning.
 func (k *Kernel) RunUntil(t uint64) {
 	k.stopped = false
 	for len(k.events) > 0 && !k.stopped {
 		if k.events[0].tick > t {
 			break
 		}
-		e := heap.Pop(&k.events).(event)
-		k.now = e.tick
-		k.executed++
-		e.fn()
+		k.dispatchNext()
 	}
 	if k.now < t {
 		k.now = t

@@ -94,6 +94,40 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// TestRunUntilWatchdogPanics is the regression test for the RunUntil
+// loop bypassing the watchdog: a livelock below the horizon used to
+// spin until the horizon instead of panicking at the deadline like Run.
+func TestRunUntilWatchdogPanics(t *testing.T) {
+	k := New()
+	k.SetDeadline(100)
+	var tick func()
+	tick = func() { k.After(1, tick) } // endless self-rescheduling
+	k.At(0, tick)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("RunUntil livelock did not trip the watchdog")
+		}
+		if k.Now() > 101 {
+			t.Errorf("watchdog fired late: now = %d", k.Now())
+		}
+	}()
+	k.RunUntil(1 << 20)
+}
+
+// RunUntil below the deadline must not trip the watchdog.
+func TestRunUntilBeforeDeadlineRuns(t *testing.T) {
+	k := New()
+	k.SetDeadline(1000)
+	n := 0
+	k.At(10, func() { n++ })
+	k.At(20, func() { n++ })
+	k.RunUntil(50)
+	if n != 2 || k.Now() != 50 {
+		t.Fatalf("n = %d, now = %d", n, k.Now())
+	}
+}
+
 func TestWatchdogPanics(t *testing.T) {
 	k := New()
 	k.SetDeadline(100)

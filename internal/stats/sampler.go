@@ -63,7 +63,9 @@ type Sampler struct {
 }
 
 // Attach installs a sampler with the given period in cycles. It must be
-// called before System.Run.
+// called before System.Run. The sampler snapshots every period while
+// the simulation is live and flushes the final partial window when the
+// run drains, so window sums always equal end-of-run totals.
 func Attach(sys *spamer.System, period uint64) *Sampler {
 	if period == 0 {
 		period = 4096
@@ -77,7 +79,36 @@ func Attach(sys *spamer.System, period uint64) *Sampler {
 		}
 	}
 	sys.Kernel().After(period, tick)
+	sys.OnDrain(s.Flush)
 	return s
+}
+
+// Flush snapshots the tail of the run: the partial window between the
+// last periodic sample and the moment the simulation drained. Without
+// it, messages and pushes after the final full period would vanish from
+// Windows, Phases, and WriteCSV. Attach hooks Flush into run
+// completion; callers that stop a system early (RunUntil) may call it
+// explicitly. Flush is idempotent — it emits nothing when no time
+// passed and no counter moved since the last snapshot.
+func (s *Sampler) Flush() {
+	now := s.sys.Kernel().Now()
+	if now > s.lastT {
+		s.snapshot()
+		return
+	}
+	// Same tick as the previous snapshot: emit a zero-width window only
+	// if counters moved after it (events later in the same tick), so
+	// totals still balance without recording empty windows.
+	dev := aggregateDevs(s.sys)
+	bus := s.sys.Bus().Stats()
+	var in, out uint64
+	for _, q := range s.sys.Queues() {
+		in += q.Pushed()
+		out += q.Popped()
+	}
+	if dev != s.prevDev || bus != s.prevBus || in != s.prevIn || out != s.prevOut {
+		s.snapshot()
+	}
 }
 
 func (s *Sampler) snapshot() {

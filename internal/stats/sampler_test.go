@@ -52,12 +52,56 @@ func TestSamplerWindowsCoverRun(t *testing.T) {
 		in += w.MessagesIn
 		out += w.MessagesOut
 	}
-	// Windows must account for every message up to the last sample.
-	if in > res.Pushed || out > res.Popped {
-		t.Fatalf("window sums exceed totals: %d/%d vs %d/%d", in, out, res.Pushed, res.Popped)
+	// The final partial window is flushed at drain, so window sums must
+	// equal the end-of-run queue totals exactly — nothing from the tail
+	// may vanish.
+	if in != res.Pushed || out != res.Popped {
+		t.Fatalf("window sums != totals: %d/%d vs %d/%d", in, out, res.Pushed, res.Popped)
 	}
-	if in < res.Pushed*9/10 {
-		t.Fatalf("windows cover only %d of %d pushes", in, res.Pushed)
+}
+
+// TestSamplerFlushesTail is the regression test for the dropped tail
+// window: with a period longer than the whole run, every message flows
+// after the last (nonexistent) full period and the old sampler reported
+// no windows at all.
+func TestSamplerFlushesTail(t *testing.T) {
+	sys := spamer.NewSystem(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 32})
+	buildTwoPhase(sys)
+	s := Attach(sys, 1<<30) // period far beyond the run length
+	res := sys.Run()
+	ws := s.Windows()
+	if len(ws) == 0 {
+		t.Fatal("sampler dropped the final partial window")
+	}
+	var in, out, busy uint64
+	for _, w := range ws {
+		in += w.MessagesIn
+		out += w.MessagesOut
+		busy += w.BusBusy
+	}
+	if in != res.Pushed || out != res.Popped {
+		t.Fatalf("tail window sums != totals: %d/%d vs %d/%d", in, out, res.Pushed, res.Popped)
+	}
+	if busy != res.Bus.BusyCycles {
+		t.Fatalf("tail window busy = %d, want %d", busy, res.Bus.BusyCycles)
+	}
+	if last := ws[len(ws)-1]; last.EndTick != res.Ticks {
+		t.Fatalf("last window ends at %d, run ended at %d", last.EndTick, res.Ticks)
+	}
+}
+
+// Flush is idempotent: a second call with no time passed and no counter
+// movement emits nothing.
+func TestSamplerFlushIdempotent(t *testing.T) {
+	sys := spamer.NewSystem(spamer.Config{Algorithm: spamer.AlgTuned, Deadline: 1 << 32})
+	buildTwoPhase(sys)
+	s := Attach(sys, 2048)
+	sys.Run()
+	n := len(s.Windows())
+	s.Flush()
+	s.Flush()
+	if got := len(s.Windows()); got != n {
+		t.Fatalf("redundant Flush grew windows: %d -> %d", n, got)
 	}
 }
 

@@ -8,12 +8,14 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"spamer"
 	"spamer/internal/config"
 	"spamer/internal/energy"
+	"spamer/internal/harness"
 	"spamer/internal/workloads"
 )
 
@@ -50,6 +52,13 @@ type Search struct {
 	Objective Objective
 	MaxRounds int
 
+	// Workers bounds the harness pool that evaluates each round's
+	// candidate neighbours concurrently (<= 0 selects GOMAXPROCS).
+	// Every candidate is an independent deterministic simulation, and
+	// the round's winner is folded in proposal order, so the search
+	// trajectory is identical at any worker count.
+	Workers int
+
 	evals int
 	cache map[config.TunedParams]Candidate
 	base  spamer.Result
@@ -77,24 +86,58 @@ func NewSearch(bench string, scale int) (*Search, error) {
 func (s *Search) Evals() int { return s.evals }
 
 func (s *Search) eval(p config.TunedParams) Candidate {
-	if c, ok := s.cache[p]; ok {
-		return c
+	return s.evalBatch([]config.TunedParams{p})[0]
+}
+
+// evalBatch evaluates every uncached parameter set on the harness pool,
+// then returns candidates in argument order. Simulator runs happen
+// concurrently; cache and counter updates happen on this goroutine
+// after the pool drains, keeping the search itself single-threaded.
+func (s *Search) evalBatch(ps []config.TunedParams) []Candidate {
+	var todo []config.TunedParams
+	queued := map[config.TunedParams]bool{}
+	for _, p := range ps {
+		if _, ok := s.cache[p]; !ok && !queued[p] {
+			queued[p] = true
+			todo = append(todo, p)
+		}
 	}
-	res := s.Workload.Run(spamer.Config{
-		Algorithm: spamer.AlgTuned,
-		Tuned:     p,
-		Deadline:  1 << 40,
-	}, s.Scale)
-	s.evals++
-	c := Candidate{
-		Params:     p,
-		Ticks:      res.Ticks,
-		DelayNorm:  energy.DelayNorm(res, s.base),
-		EnergyNorm: energy.EnergyNorm(res, s.base),
+	if len(todo) > 0 {
+		tasks := make([]harness.Task[spamer.Result], len(todo))
+		for i, p := range todo {
+			p := p
+			tasks[i] = harness.Task[spamer.Result]{
+				Label: s.Workload.Name + "/" + p.String(),
+				Run: func(ctx context.Context) (spamer.Result, error) {
+					return s.Workload.Run(spamer.Config{
+						Algorithm: spamer.AlgTuned,
+						Tuned:     p,
+						Deadline:  1 << 40,
+					}, s.Scale), nil
+				},
+			}
+		}
+		outs, _ := harness.Run(context.Background(), tasks, harness.Options{Workers: s.Workers})
+		for i, o := range outs {
+			if o.Err != nil {
+				panic(o.Err)
+			}
+			s.evals++
+			c := Candidate{
+				Params:     todo[i],
+				Ticks:      o.Value.Ticks,
+				DelayNorm:  energy.DelayNorm(o.Value, s.base),
+				EnergyNorm: energy.EnergyNorm(o.Value, s.base),
+			}
+			c.Score = s.Objective.score(c.DelayNorm, c.EnergyNorm)
+			s.cache[todo[i]] = c
+		}
 	}
-	c.Score = s.Objective.score(c.DelayNorm, c.EnergyNorm)
-	s.cache[p] = c
-	return c
+	out := make([]Candidate, len(ps))
+	for i, p := range ps {
+		out[i] = s.cache[p]
+	}
+	return out
 }
 
 // neighbours proposes the adjacent values for each parameter: halving
@@ -161,8 +204,10 @@ func (s *Search) Run() Result {
 	rounds := 0
 	for ; rounds < s.MaxRounds; rounds++ {
 		improved := false
-		for _, q := range neighbours(best.Params) {
-			c := s.eval(q)
+		// Evaluate the whole neighbourhood concurrently, then fold the
+		// winner in proposal order — the same trajectory the sequential
+		// loop walked.
+		for _, c := range s.evalBatch(neighbours(best.Params)) {
 			if c.Score < best.Score-1e-9 {
 				best = c
 				improved = true

@@ -160,6 +160,8 @@ type System struct {
 	threads []*Thread
 	queues  []*Queue
 
+	onDrain []func()
+
 	ran    bool
 	result Result
 }
@@ -265,6 +267,17 @@ func (s *System) Spawn(name string, body func(t *Thread)) *Thread {
 // Threads reports how many threads have been spawned.
 func (s *System) Threads() int { return len(s.threads) }
 
+// OnDrain registers fn to run after Run's event loop drains, before the
+// Result is collected. Instrumentation uses it to finalize: a stats
+// sampler flushes its last partial window here so end-of-run counters
+// are fully accounted. OnDrain must be called before Run.
+func (s *System) OnDrain(fn func()) {
+	if s.ran {
+		panic("spamer: OnDrain after Run")
+	}
+	s.onDrain = append(s.onDrain, fn)
+}
+
 // Run drives the simulation until every thread finishes, then gathers
 // the Result. Run may be called once.
 func (s *System) Run() Result {
@@ -278,6 +291,9 @@ func (s *System) Run() Result {
 	s.kernel.Run()
 	if live := s.kernel.LiveProcs(); live != 0 {
 		panic(fmt.Sprintf("spamer: deadlock — %d threads still parked with no pending events", live))
+	}
+	for _, fn := range s.onDrain {
+		fn()
 	}
 	s.result = s.collect()
 	return s.result
