@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race bench repro figures trace sweep latency area ablate tune clean
+.PHONY: all check build vet test test-race bench repro figures trace sweep latency area ablate tune serve clean
 
 all: check
 
@@ -49,6 +49,10 @@ ablate:
 
 tune:
 	$(GO) run ./cmd/spamer-tune
+
+# Long-lived simulation-as-a-service daemon (docs/SERVICE.md).
+serve:
+	$(GO) run ./cmd/spamer-serve
 
 clean:
 	$(GO) clean ./...

@@ -2,9 +2,16 @@
 // emits machine-readable JSON outcomes, making reproduction scriptable
 // and diffable. Reads one spec (or an array) from a file or stdin.
 //
+// Specs are independent simulations; -parallel fans them (one task per
+// spec × algorithm) across a bounded worker pool (internal/harness)
+// while keeping the emitted outcomes in spec order. A failing spec no
+// longer aborts the batch: its error goes to stderr, every outcome
+// that did complete is still written to stdout, and the exit status is
+// nonzero.
+//
 // Usage:
 //
-//	spamer-run -spec experiment.json
+//	spamer-run [-spec experiment.json] [-parallel N]
 //	echo '{"benchmark":"FIR","algorithms":["vl","0delay"]}' | spamer-run
 //
 // Spec fields: benchmark, algorithms, scale, hop_latency, bus_channels,
@@ -14,16 +21,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"spamer/internal/experiments"
+	"spamer/internal/harness"
 )
 
 func main() {
 	specPath := flag.String("spec", "-", "spec file path, or - for stdin")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -41,17 +51,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	results := experiments.RunSpecsParallel(context.Background(), specs, harness.Options{
+		Workers: *parallel,
+	})
+	failed := false
 	var all []experiments.Outcome
-	for i := range specs {
-		outs, err := specs[i].Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "spec %d: %v\n", i, err)
-			os.Exit(1)
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "spec %d: %v\n", res.Index, res.Err)
+			failed = true
 		}
-		all = append(all, outs...)
+		all = append(all, res.Outcomes...)
 	}
 	if err := experiments.WriteOutcomes(os.Stdout, all); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,77 @@
+// Command spamer-serve runs the simulation-as-a-service daemon: a
+// long-lived HTTP server that executes experiments.Spec jobs (the JSON
+// cmd/spamer-run reads) on the internal/harness pool, with bounded
+// admission (429 + Retry-After under overload), a content-addressed
+// result cache, live SSE progress, and Prometheus metrics. See
+// docs/SERVICE.md for the API.
+//
+// Usage:
+//
+//	spamer-serve [-addr :8080] [-queue 64] [-jobs 1] [-parallel N]
+//	             [-cache 256] [-run-timeout 0] [-drain-timeout 30s]
+//
+// SIGTERM/SIGINT triggers a graceful drain: admission stops, every
+// admitted job finishes (bounded by -drain-timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spamer/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 64, "admission queue depth (full queue returns 429)")
+	jobs := flag.Int("jobs", 1, "jobs executed concurrently")
+	parallel := flag.Int("parallel", 0, "simulations per job run concurrently (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", 256, "result cache entries (negative disables)")
+	runTimeout := flag.Duration("run-timeout", 0, "per-simulation timeout (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		QueueDepth:   *queue,
+		JobWorkers:   *jobs,
+		RunWorkers:   *parallel,
+		RunTimeout:   *runTimeout,
+		CacheEntries: *cacheEntries,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "spamer-serve: listening on %s (queue=%d jobs=%d)\n", *addr, *queue, *jobs)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "spamer-serve: %v: draining (finishing admitted jobs, up to %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "spamer-serve: drain incomplete: %v\n", err)
+			srv.Close()
+			hs.Close()
+			os.Exit(1)
+		}
+		hs.Shutdown(ctx)
+		fmt.Fprintln(os.Stderr, "spamer-serve: drained cleanly")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "spamer-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -146,19 +146,7 @@ func (s *Spec) Run() ([]Outcome, error) {
 	var base *spamer.Result
 	var out []Outcome
 	for _, alg := range algs {
-		res := w.Run(s.systemConfig(alg), scale)
-		o := Outcome{
-			Label:          s.Label,
-			Benchmark:      s.Benchmark,
-			Algorithm:      alg,
-			Ticks:          res.Ticks,
-			Milliseconds:   res.MS,
-			Messages:       res.Pushed,
-			FailureRate:    res.FailureRate(),
-			BusUtilization: res.BusUtilization,
-			PushesIssued:   res.Device.TotalPushes(),
-			Fetches:        res.Device.Fetches,
-		}
+		o, res := s.runAlg(w, alg, scale)
 		if alg == spamer.AlgBaseline {
 			r := res
 			base = &r
@@ -166,20 +154,40 @@ func (s *Spec) Run() ([]Outcome, error) {
 		if base != nil {
 			o.SpeedupOverVL = res.Speedup(*base)
 		}
-		if s.Repeat > 1 {
-			det := true
-			for i := 1; i < s.Repeat; i++ {
-				again := w.Run(s.systemConfig(alg), scale)
-				if again.Ticks != res.Ticks || again.Device != res.Device {
-					det = false
-					break
-				}
-			}
-			o.Deterministic = &det
-		}
 		out = append(out, o)
 	}
 	return out, nil
+}
+
+// runAlg executes one algorithm of the spec — including the Repeat
+// determinism check — and returns its outcome alongside the raw result
+// (the caller normalizes SpeedupOverVL once its baseline is known).
+func (s *Spec) runAlg(w *workloads.Workload, alg string, scale int) (Outcome, spamer.Result) {
+	res := w.Run(s.systemConfig(alg), scale)
+	o := Outcome{
+		Label:          s.Label,
+		Benchmark:      s.Benchmark,
+		Algorithm:      alg,
+		Ticks:          res.Ticks,
+		Milliseconds:   res.MS,
+		Messages:       res.Pushed,
+		FailureRate:    res.FailureRate(),
+		BusUtilization: res.BusUtilization,
+		PushesIssued:   res.Device.TotalPushes(),
+		Fetches:        res.Device.Fetches,
+	}
+	if s.Repeat > 1 {
+		det := true
+		for i := 1; i < s.Repeat; i++ {
+			again := w.Run(s.systemConfig(alg), scale)
+			if again.Ticks != res.Ticks || again.Device != res.Device {
+				det = false
+				break
+			}
+		}
+		o.Deterministic = &det
+	}
+	return o, res
 }
 
 // ReadSpecs decodes one spec or an array of specs from JSON.

@@ -112,3 +112,48 @@ func TestWriteOutcomesRoundTrip(t *testing.T) {
 		t.Fatalf("json: %s", sb.String())
 	}
 }
+
+// TestReadSpecsErrorPaths: every malformed input ReadSpecs can see is
+// rejected with a spec-JSON error rather than a partial decode.
+func TestReadSpecsErrorPaths(t *testing.T) {
+	bad := []string{
+		``,                          // empty input
+		`{`,                         // truncated object
+		`[{"benchmark":"FIR"}`,      // truncated array
+		`{"benchmark":5}`,           // wrong type for a field
+		`{"algorithms":"vl"}`,       // scalar where a list belongs
+		`[{"benchmark":"FIR"},"x"]`, // non-object array element
+		`42`,                        // bare scalar
+	}
+	for _, in := range bad {
+		if specs, err := ReadSpecs(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadSpecs(%q) accepted: %+v", in, specs)
+		}
+	}
+}
+
+// TestReadSpecsThenValidate: inputs that decode fine but describe an
+// impossible experiment fail at Validate with a pointed message.
+func TestReadSpecsThenValidate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{`{}`, "missing benchmark"},
+		{`{"benchmark":"no-such-kernel"}`, `unknown benchmark "no-such-kernel"`},
+		{`{"benchmark":"FIR","algorithms":["vl","warp-drive"]}`, `unknown algorithm "warp-drive"`},
+		{`{"benchmark":"FIR","scale":-3}`, "negative scale"},
+		{`{"benchmark":"FIR","repeat":-1}`, "negative scale/repeat"},
+		{`{"benchmark":"allreduce"}`, `unknown benchmark "allreduce"`}, // extended gate closed
+	}
+	for _, c := range cases {
+		specs, err := ReadSpecs(strings.NewReader(c.in))
+		if err != nil || len(specs) != 1 {
+			t.Fatalf("ReadSpecs(%q): %v %v", c.in, specs, err)
+		}
+		err = specs[0].Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%q) = %v, want mention of %q", c.in, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"context"
+
+	"spamer"
+	"spamer/internal/harness"
+	"spamer/internal/workloads"
+)
+
+// SpecResult is one spec's slot in a RunSpecsParallel result: the
+// outcomes of the algorithms that ran, plus the first failure if any
+// run died (watchdog panic, timeout, cancellation) or the spec itself
+// was invalid. Slots stay in spec order.
+type SpecResult struct {
+	Index    int
+	Outcomes []Outcome
+	Err      error
+}
+
+// RunSpecsParallel fans every (spec, algorithm) pair of the list across
+// the harness pool and reassembles per-spec outcomes in spec order,
+// with the exact SpeedupOverVL and Repeat semantics of the sequential
+// Spec.Run. Invalid specs fail fast in their slot without occupying a
+// worker; a failed run surfaces as its spec's Err while the other
+// specs' results — and the spec's own completed algorithms — are kept.
+func RunSpecsParallel(ctx context.Context, specs []Spec, opts harness.Options) []SpecResult {
+	type algRun struct {
+		out Outcome
+		res spamer.Result
+	}
+	type slot struct{ spec, alg int }
+
+	results := make([]SpecResult, len(specs))
+	algsBySpec := make([][]string, len(specs))
+	perSpec := make([][]*harness.Outcome[algRun], len(specs))
+	var tasks []harness.Task[algRun]
+	var slots []slot
+	for i := range specs {
+		s := &specs[i]
+		results[i].Index = i
+		if err := s.Validate(); err != nil {
+			results[i].Err = err
+			continue
+		}
+		algs := s.Algorithms
+		if len(algs) == 0 {
+			algs = spamer.Configs()
+		}
+		algsBySpec[i] = algs
+		perSpec[i] = make([]*harness.Outcome[algRun], len(algs))
+		w, _ := s.workload()
+		scale := s.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		for j, alg := range algs {
+			alg := alg
+			slots = append(slots, slot{spec: i, alg: j})
+			tasks = append(tasks, harness.Task[algRun]{
+				Label: s.Benchmark + "/" + alg,
+				Run: func(ctx context.Context) (algRun, error) {
+					o, res := s.runAlg(w, alg, scale)
+					return algRun{out: o, res: res}, nil
+				},
+			})
+		}
+	}
+
+	outs, _ := harness.Run(ctx, tasks, opts)
+	for k := range outs {
+		sl := slots[k]
+		perSpec[sl.spec][sl.alg] = &outs[k]
+	}
+
+	// Reassemble each spec sequentially in algorithm order so the
+	// running-baseline speedup normalization matches Spec.Run.
+	for i := range specs {
+		if results[i].Err != nil {
+			continue
+		}
+		var base *spamer.Result
+		for j, alg := range algsBySpec[i] {
+			o := perSpec[i][j]
+			if o.Err != nil {
+				if results[i].Err == nil {
+					results[i].Err = o.Err
+				}
+				continue
+			}
+			r := o.Value
+			if alg == spamer.AlgBaseline {
+				res := r.res
+				base = &res
+			}
+			if base != nil {
+				r.out.SpeedupOverVL = r.res.Speedup(*base)
+			}
+			results[i].Outcomes = append(results[i].Outcomes, r.out)
+		}
+	}
+	return results
+}
+
+// Workload resolves the spec's benchmark, honouring the extensions
+// gate. It is the exported face of the private workload() lookup for
+// callers outside the package.
+func (s *Spec) Workload() (*workloads.Workload, bool) { return s.workload() }

@@ -86,6 +86,11 @@ type Options struct {
 	// OnProgress, if set, is called after every run completes. Calls
 	// are serialized; the callback must not block for long.
 	OnProgress func(Progress)
+	// OnStart, if set, is called just before a run begins executing,
+	// with Label naming the starting run and Done counting runs
+	// already finished. Calls are serialized with OnProgress; the
+	// callback must not block for long.
+	OnStart func(Progress)
 }
 
 // Metrics aggregates one pool invocation.
@@ -123,6 +128,20 @@ func Run[T any](ctx context.Context, tasks []Task[T], opts Options) ([]Outcome[T
 		done int
 		fail int
 	)
+	starting := func(i int) {
+		if opts.OnStart == nil {
+			return
+		}
+		mu.Lock()
+		opts.OnStart(Progress{
+			Done:    done,
+			Total:   len(tasks),
+			Failed:  fail,
+			Label:   tasks[i].Label,
+			Elapsed: time.Since(start),
+		})
+		mu.Unlock()
+	}
 	report := func(i int) {
 		mu.Lock()
 		done++
@@ -148,6 +167,7 @@ func Run[T any](ctx context.Context, tasks []Task[T], opts Options) ([]Outcome[T
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				starting(i)
 				outs[i] = runOne(ctx, i, tasks[i], opts.Timeout)
 				report(i)
 			}

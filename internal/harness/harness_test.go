@@ -236,3 +236,50 @@ func TestMetricsString(t *testing.T) {
 		}
 	}
 }
+
+// TestOnStartFiresPerRun: every run gets exactly one OnStart call before
+// its OnProgress call, with the run's label, and calls stay serialized.
+func TestOnStartFiresPerRun(t *testing.T) {
+	const n = 12
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Label: fmt.Sprintf("t%d", i),
+			Run:   func(ctx context.Context) (int, error) { return i, nil },
+		}
+	}
+	var mu sync.Mutex
+	started := map[string]int{}
+	finished := map[string]int{}
+	outs, _ := Run(context.Background(), tasks, Options{
+		Workers: 4,
+		OnStart: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			started[p.Label]++
+			if finished[p.Label] != 0 {
+				t.Errorf("run %s finished before it started", p.Label)
+			}
+			if p.Total != n {
+				t.Errorf("OnStart total = %d, want %d", p.Total, n)
+			}
+		},
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			finished[p.Label]++
+		},
+	})
+	if len(outs) != n {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		l := fmt.Sprintf("t%d", i)
+		if started[l] != 1 || finished[l] != 1 {
+			t.Fatalf("run %s: started %d finished %d times", l, started[l], finished[l])
+		}
+	}
+}

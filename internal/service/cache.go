@@ -1,0 +1,70 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"spamer/internal/experiments"
+)
+
+// cache is the content-addressed result store: canonical spec-list hash
+// (experiments.HashSpecs) → the outcomes that spec list produced. The
+// simulator is deterministic, so a hash hit is exact — byte-different
+// but semantically identical submissions replay for free. Bounded LRU;
+// a capacity <= 0 disables caching entirely.
+type cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	hash     string
+	outcomes []experiments.Outcome
+}
+
+func newCache(capacity int) *cache {
+	return &cache{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+// get returns the cached outcomes for hash, refreshing its recency.
+// Callers must treat the returned slice as immutable — it is shared
+// with every other hit on the same hash.
+func (c *cache) get(hash string) ([]experiments.Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[hash]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).outcomes, true
+}
+
+// put stores outcomes under hash, evicting the least recently used
+// entry past capacity.
+func (c *cache) put(hash string, outcomes []experiments.Outcome) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[hash]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*cacheEntry).outcomes = outcomes
+		return
+	}
+	c.m[hash] = c.ll.PushFront(&cacheEntry{hash: hash, outcomes: outcomes})
+	for c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.m, old.Value.(*cacheEntry).hash)
+	}
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"spamer/internal/experiments"
+)
+
+func outs(ticks uint64) []experiments.Outcome {
+	return []experiments.Outcome{{Benchmark: "b", Algorithm: "vl", Ticks: ticks}}
+}
+
+// TestCacheLRUEviction: capacity bounds hold and recency decides the
+// victim.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	c.put("a", outs(1))
+	c.put("b", outs(2))
+	if _, ok := c.get("a"); !ok { // refresh a; b becomes the LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", outs(3))
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if v, ok := c.get("a"); !ok || v[0].Ticks != 1 {
+		t.Fatalf("a lost: %v %v", v, ok)
+	}
+	if v, ok := c.get("c"); !ok || v[0].Ticks != 3 {
+		t.Fatalf("c lost: %v %v", v, ok)
+	}
+}
+
+// TestCacheDisabled: non-positive capacity stores nothing.
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(-1)
+	c.put("a", outs(1))
+	if _, ok := c.get("a"); ok || c.len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+// TestCacheOverwriteRefreshes: re-putting an existing hash updates in
+// place without growing.
+func TestCacheOverwriteRefreshes(t *testing.T) {
+	c := newCache(4)
+	c.put("a", outs(1))
+	c.put("a", outs(9))
+	if c.len() != 1 {
+		t.Fatalf("len = %d", c.len())
+	}
+	if v, _ := c.get("a"); v[0].Ticks != 9 {
+		t.Fatalf("stale value: %v", v)
+	}
+}
+
+// TestCacheConcurrent: hammering one cache from many goroutines is
+// race-clean and never exceeds capacity.
+func TestCacheConcurrent(t *testing.T) {
+	c := newCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%16)
+				c.put(k, outs(uint64(i)))
+				c.get(k)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if c.len() > 8 {
+		t.Fatalf("capacity exceeded: %d", c.len())
+	}
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetricsExposition: the text format carries every metric family
+// with correct types and values.
+func TestMetricsExposition(t *testing.T) {
+	m := newMetrics()
+	m.queueDepth.Store(3)
+	m.inFlight.Store(1)
+	m.cacheHits.Add(5)
+	m.jobsDone.Add(2)
+	m.jobsRejected.Add(7)
+	m.latency.observe(0.003)
+	m.latency.observe(0.2)
+	m.latency.observe(120) // beyond the last bound → +Inf bucket
+
+	var sb strings.Builder
+	m.write(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE spamer_serve_queue_depth gauge",
+		"spamer_serve_queue_depth 3",
+		"spamer_serve_in_flight 1",
+		"spamer_serve_cache_hits_total 5",
+		`spamer_serve_jobs_total{outcome="done"} 2`,
+		`spamer_serve_jobs_total{outcome="rejected"} 7`,
+		"# TYPE spamer_serve_job_duration_seconds histogram",
+		`spamer_serve_job_duration_seconds_bucket{le="0.005"} 1`,
+		`spamer_serve_job_duration_seconds_bucket{le="0.5"} 2`,
+		`spamer_serve_job_duration_seconds_bucket{le="+Inf"} 3`,
+		"spamer_serve_job_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBucketEdges: a value exactly on a bound lands in that
+// bound's le bucket (Prometheus le is inclusive).
+func TestHistogramBucketEdges(t *testing.T) {
+	h := histogram{bounds: []float64{1, 2}}
+	h.observe(1) // le="1"
+	h.observe(2) // le="2"
+	var sb strings.Builder
+	h.write(&sb, "x", "help")
+	out := sb.String()
+	for _, want := range []string{
+		`x_bucket{le="1"} 1`,
+		`x_bucket{le="2"} 2`,
+		`x_bucket{le="+Inf"} 2`,
+		"x_sum 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastSpec is a sub-second single simulation; fastSpecReordered is the
+// same spec with permuted JSON keys and every default spelled out —
+// byte-different, semantically identical, same canonical hash.
+const (
+	fastSpec          = `{"benchmark":"ping-pong","algorithms":["vl"],"label":"t"}`
+	fastSpecReordered = `{"label":"t","scale":1,"hop_latency":12,"bus_channels":4,"devices":1,"algorithms":["vl"],"benchmark":"ping-pong"}`
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, body string) (int, Status) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job: %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id, want string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State == want {
+			return st
+		}
+		if st.State == StateFailed && want != StateFailed {
+			t.Fatalf("job %s failed: %v", id, st.Errors)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, want)
+	return Status{}
+}
+
+func metricsBody(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// TestSubmitCompleteFetch: the basic lifecycle — 202 on admission, the
+// job reaches done, outcomes are fetchable and well-formed.
+func TestSubmitCompleteFetch(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, st := submit(t, ts, fastSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	if st.ID == "" || st.SpecHash == "" || st.State == "" {
+		t.Fatalf("admission status: %+v", st)
+	}
+	final := waitState(t, ts, st.ID, StateDone)
+	if len(final.Outcomes) != 1 {
+		t.Fatalf("outcomes: %+v", final.Outcomes)
+	}
+	o := final.Outcomes[0]
+	if o.Benchmark != "ping-pong" || o.Algorithm != "vl" || o.Ticks == 0 || o.Label != "t" {
+		t.Fatalf("outcome: %+v", o)
+	}
+	if final.Runs.Done != 1 || final.Runs.Total != 1 || final.Runs.Failed != 0 {
+		t.Fatalf("run progress: %+v", final.Runs)
+	}
+}
+
+// TestCacheHitOnSemanticallyIdenticalSpec: a byte-different spelling of
+// an already-served spec returns 200 immediately with the cached
+// outcomes, and the cache-hit counter moves.
+func TestCacheHitOnSemanticallyIdenticalSpec(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, st := submit(t, ts, fastSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", code)
+	}
+	first := waitState(t, ts, st.ID, StateDone)
+
+	code, st2 := submit(t, ts, fastSpecReordered)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit = %d, want 200 (cache hit)", code)
+	}
+	if !st2.Cached || st2.State != StateDone {
+		t.Fatalf("resubmit status: %+v", st2)
+	}
+	if st2.SpecHash != first.SpecHash {
+		t.Fatalf("hash mismatch: %s vs %s", st2.SpecHash, first.SpecHash)
+	}
+	if len(st2.Outcomes) != 1 || st2.Outcomes[0].Ticks != first.Outcomes[0].Ticks {
+		t.Fatalf("cached outcomes differ: %+v vs %+v", st2.Outcomes, first.Outcomes)
+	}
+
+	m := metricsBody(t, ts)
+	for _, want := range []string{
+		"spamer_serve_cache_hits_total 1",
+		"spamer_serve_cache_misses_total 1",
+		`spamer_serve_jobs_total{outcome="done"} 1`,
+		"spamer_serve_job_duration_seconds_count 1",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+// TestQueueFullReturns429: with one gated executor and a depth-1
+// queue, the third submission is shed with 429 + Retry-After, and the
+// rejection is counted.
+func TestQueueFullReturns429(t *testing.T) {
+	gate := make(chan struct{})
+	srv, ts := newTestServer(t, Options{
+		QueueDepth:  1,
+		JobWorkers:  1,
+		hookRunning: func(*job) { <-gate },
+	})
+	defer close(gate)
+	_ = srv
+
+	_, st := submit(t, ts, fastSpec)
+	waitState(t, ts, st.ID, StateRunning) // executor holds it at the gate
+
+	// Distinct specs so neither hits the cache or dedupes.
+	code, _ := submit(t, ts, `{"benchmark":"firewall","algorithms":["vl"]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit = %d, want 202", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"benchmark":"halo","algorithms":["vl"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if m := metricsBody(t, ts); !strings.Contains(m, `spamer_serve_jobs_total{outcome="rejected"} 1`) {
+		t.Errorf("rejection not counted:\n%s", m)
+	}
+}
+
+// TestDrainCompletesInFlight: Drain stops admission immediately (503,
+// healthz flips) but lets the gated in-flight job finish.
+func TestDrainCompletesInFlight(t *testing.T) {
+	gate := make(chan struct{})
+	srv, ts := newTestServer(t, Options{hookRunning: func(*job) { <-gate }})
+
+	_, st := submit(t, ts, fastSpec)
+	waitState(t, ts, st.ID, StateRunning)
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+	for !srv.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	if code, _ := submit(t, ts, `{"benchmark":"halo"}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", code)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+		}
+	}
+
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if final := getStatus(t, ts, st.ID); final.State != StateDone {
+		t.Fatalf("in-flight job not completed by drain: %+v", final)
+	}
+}
+
+// TestEventsStream: the SSE stream opens with a snapshot, carries
+// per-run frames, and ends with exactly one terminal done frame.
+func TestEventsStream(t *testing.T) {
+	gate := make(chan struct{})
+	_, ts := newTestServer(t, Options{hookRunning: func(*job) { <-gate }})
+
+	_, st := submit(t, ts, fastSpec)
+	waitState(t, ts, st.ID, StateRunning)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	close(gate)
+	body, err := io.ReadAll(resp.Body) // stream closes at the terminal frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(body)
+	if !strings.Contains(s, "event: running") {
+		t.Errorf("missing snapshot frame:\n%s", s)
+	}
+	if !strings.Contains(s, "event: run_done") {
+		t.Errorf("missing progress frame:\n%s", s)
+	}
+	if n := strings.Count(s, "event: done"); n != 1 {
+		t.Errorf("terminal frames = %d, want 1:\n%s", n, s)
+	}
+
+	// A stream opened after completion replays just the terminal frame.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body2), "event: done") {
+		t.Errorf("replay missing terminal frame:\n%s", body2)
+	}
+}
+
+// TestBadRequests: malformed JSON, invalid specs, and unknown jobs map
+// to 400/404 without touching the queue.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, body := range []string{
+		"not json",
+		`{"benchmark":"no-such-benchmark"}`,
+		`{"benchmark":"FIR","algorithms":["bogus"]}`,
+		`[]`,
+		`{"benchmark":"allreduce"}`, // extended workload without opt-in
+	} {
+		if code, _ := submit(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("submit(%q) = %d, want 400", body, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMultiSpecJobKeepsOrder: a spec-array job concatenates outcomes
+// in spec order, exactly as cmd/spamer-run would.
+func TestMultiSpecJobKeepsOrder(t *testing.T) {
+	_, ts := newTestServer(t, Options{RunWorkers: 4})
+	body := `[{"benchmark":"firewall","algorithms":["vl","tuned"]},{"benchmark":"ping-pong","algorithms":["vl"]}]`
+	code, st := submit(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	final := waitState(t, ts, st.ID, StateDone)
+	if len(final.Outcomes) != 3 {
+		t.Fatalf("outcomes = %d, want 3", len(final.Outcomes))
+	}
+	got := []string{
+		final.Outcomes[0].Benchmark + "/" + final.Outcomes[0].Algorithm,
+		final.Outcomes[1].Benchmark + "/" + final.Outcomes[1].Algorithm,
+		final.Outcomes[2].Benchmark + "/" + final.Outcomes[2].Algorithm,
+	}
+	want := []string{"firewall/vl", "firewall/tuned", "ping-pong/vl"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v, want %v", got, want)
+		}
+	}
+	if final.Outcomes[1].SpeedupOverVL <= 1 {
+		t.Fatalf("speedup normalization lost: %+v", final.Outcomes[1])
+	}
+}
