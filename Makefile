@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race bench repro figures trace sweep latency area ablate tune serve clean
+.PHONY: all check build vet test test-race bench bench-ci repro figures trace sweep latency area ablate tune serve clean
+
+# BENCH_JSON tracks the perf trajectory across PRs: bump the suffix when
+# a PR materially changes the benchmark surface and commit the new file.
+BENCH_JSON ?= BENCH_3.json
 
 all: check
 
@@ -22,9 +26,21 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Full benchmark pass: every table/figure as a testing.B target.
+# Full benchmark pass: every table/figure as a testing.B target. The
+# stream also feeds spamer-benchjson, which records name -> ns/op and
+# allocs/op into $(BENCH_JSON) so perf is diffable across PRs.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run=NONE -bench=. -benchmem ./... | $(GO) run ./cmd/spamer-benchjson -out $(BENCH_JSON)
+
+# Quick variant for CI: the kernel and experiment-layer benchmarks only,
+# at a fixed small iteration count (SpecRun and HarnessMatrix are full
+# end-to-end sweeps at 0.2-1 s/op, so 10x keeps the step under a
+# minute; allocs/op — the number this step guards — is exact at any
+# iteration count). Non-blocking in ci.yml — it surfaces hot-path
+# regressions in the job log without gating merges on noisy
+# shared-runner timings.
+bench-ci:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=10x ./internal/sim ./internal/experiments | $(GO) run ./cmd/spamer-benchjson -out bench-ci.json
 
 # Regenerate every evaluation artifact to stdout.
 repro: figures trace sweep latency area

@@ -1,0 +1,106 @@
+// Command spamer-benchjson converts `go test -bench -benchmem` output
+// into a machine-readable JSON file so the repository's performance
+// trajectory is diffable across PRs (BENCH_<n>.json at the repo root,
+// written by `make bench`).
+//
+// It reads the benchmark output on stdin, echoes it unchanged to stdout
+// (so the human-readable stream survives the pipe), and writes a JSON
+// object keyed by "<package>/<BenchmarkName>" to -out:
+//
+//	go test -bench=. -benchmem ./... | spamer-benchjson -out BENCH_3.json
+//
+// Sub-benchmarks keep their slash-separated names; the trailing
+// -<GOMAXPROCS> suffix Go appends is stripped so keys stay stable across
+// machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's parsed result.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output JSON path")
+	flag.Parse()
+
+	entries := map[string]Entry{}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		e := Entry{Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		key := m[1]
+		if pkg != "" {
+			key = pkg + "/" + m[1]
+		}
+		entries[key] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "spamer-benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "spamer-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spamer-benchjson:", err)
+		os.Exit(1)
+	}
+	// encoding/json sorts map keys, so the file is stable and diffable.
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		fmt.Fprintln(os.Stderr, "spamer-benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "spamer-benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "spamer-benchjson: wrote %d benchmarks to %s\n", len(entries), *out)
+}

@@ -29,12 +29,16 @@ import (
 
 	"spamer/internal/experiments"
 	"spamer/internal/harness"
+	"spamer/internal/profiling"
 )
 
 func main() {
 	specPath := flag.String("spec", "-", "spec file path, or - for stdin")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+	stopProfiles := profiling.Start(*cpuprofile, *memprofile)
 
 	var r io.Reader = os.Stdin
 	if *specPath != "-" {
@@ -55,6 +59,7 @@ func main() {
 	results := experiments.RunSpecsParallel(context.Background(), specs, harness.Options{
 		Workers: *parallel,
 	})
+	stopProfiles()
 	failed := false
 	var all []experiments.Outcome
 	for _, res := range results {

@@ -23,6 +23,7 @@ import (
 
 	"spamer/internal/experiments"
 	"spamer/internal/harness"
+	"spamer/internal/profiling"
 	"spamer/internal/report"
 	"spamer/internal/workloads"
 )
@@ -33,7 +34,11 @@ func main() {
 	scale := flag.Int("scale", 1, "message-count multiplier")
 	svgDir := flag.String("svg", "", "also write per-benchmark scatter SVGs into this directory")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+	stopProfiles := profiling.Start(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {

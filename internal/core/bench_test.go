@@ -14,6 +14,7 @@ func BenchmarkSendTick(b *testing.B) {
 	for _, alg := range ExtendedAlgorithms() {
 		alg := alg
 		b.Run(alg.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			st := alg.Initial()
 			for i := 0; i < b.N; i++ {
 				_ = alg.SendTick(&st, uint64(i)*7)
@@ -26,6 +27,7 @@ func BenchmarkOnResponse(b *testing.B) {
 	for _, alg := range ExtendedAlgorithms() {
 		alg := alg
 		b.Run(alg.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			st := alg.Initial()
 			for i := 0; i < b.N; i++ {
 				alg.OnResponse(&st, i%3 != 0, uint64(i)*11)
@@ -42,6 +44,7 @@ func BenchmarkSpecBufSelect(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, cookie, _, ok := buf.SelectTarget(1, uint64(i))

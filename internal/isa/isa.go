@@ -77,6 +77,11 @@ type Sender struct {
 	kind noc.PacketKind
 	q    []senderOp
 	busy bool
+	// deliverFn/replayFn are bound once; the in-flight attempt count
+	// rides in the event argument, so issuing and replaying device
+	// writes schedules no per-packet closures.
+	deliverFn func(uint64)
+	replayFn  func(uint64)
 }
 
 type senderOp struct {
@@ -86,11 +91,18 @@ type senderOp struct {
 
 // NewPushSender returns the ordered vl_push channel of one producer
 // endpoint.
-func (i *ISA) NewPushSender() *Sender { return &Sender{i: i, kind: noc.PktPush} }
+func (i *ISA) NewPushSender() *Sender { return newSender(i, noc.PktPush) }
 
 // NewFetchSender returns the ordered vl_fetch channel of one consumer
 // endpoint.
-func (i *ISA) NewFetchSender() *Sender { return &Sender{i: i, kind: noc.PktFetchReq} }
+func (i *ISA) NewFetchSender() *Sender { return newSender(i, noc.PktFetchReq) }
+
+func newSender(i *ISA, kind noc.PacketKind) *Sender {
+	s := &Sender{i: i, kind: kind}
+	s.deliverFn = s.delivered
+	s.replayFn = s.replay
+	return s
+}
 
 func (s *Sender) enqueue(op senderOp) {
 	s.q = append(s.q, op)
@@ -106,24 +118,33 @@ func (s *Sender) issue() {
 }
 
 func (s *Sender) deliver(attempt int) {
-	op := s.q[0]
-	s.i.bus.Send(s.kind, func() {
-		if op.attempt() {
-			s.q = s.q[1:]
-			s.busy = false
-			if op.accepted != nil {
-				op.accepted()
-			}
-			s.issue()
-			return
-		}
-		if attempt+1 >= MaxRetries {
-			panic("isa: device-write replay bound exceeded (deadlocked workload?)")
-		}
-		s.i.stats.Replays++
-		s.i.k.After(RetryBackoffCycles, func() { s.deliver(attempt + 1) })
-	})
+	s.i.bus.SendFunc(s.kind, s.deliverFn, uint64(attempt))
 }
+
+// delivered runs at the packet's arrival tick. The head op is read here
+// rather than captured at issue time: the busy flag guarantees a single
+// in-flight delivery per sender, and enqueue only appends, so q[0] at
+// arrival is the op that was issued.
+func (s *Sender) delivered(attempt uint64) {
+	op := s.q[0]
+	if op.attempt() {
+		s.q = s.q[1:]
+		s.busy = false
+		if op.accepted != nil {
+			op.accepted()
+		}
+		s.issue()
+		return
+	}
+	if attempt+1 >= MaxRetries {
+		panic("isa: device-write replay bound exceeded (deadlocked workload?)")
+	}
+	s.i.stats.Replays++
+	s.i.k.AfterFunc(RetryBackoffCycles, s.replayFn, attempt+1)
+}
+
+// replay re-sends the head op after a NACK backoff.
+func (s *Sender) replay(attempt uint64) { s.deliver(int(attempt)) }
 
 // Pending reports queued-but-unaccepted writes (tests/diagnostics).
 func (s *Sender) Pending() int { return len(s.q) }

@@ -135,6 +135,24 @@ func (b *Bus) Channels() int { return len(b.freeAt) }
 // tick (channel wait + serialization + hop latency). deliver may be nil
 // for fire-and-forget accounting.
 func (b *Bus) Send(kind PacketKind, deliver func()) {
+	arrival := b.occupy(kind)
+	if deliver != nil {
+		b.k.At(arrival, deliver)
+	}
+}
+
+// SendFunc is the allocation-free form of Send: deliver(arg) runs at the
+// arrival tick. deliver is typically a func value the caller bound once;
+// arg carries the per-packet state, so the per-packet delivery schedules
+// without creating a closure (see sim.Kernel.AtFunc).
+func (b *Bus) SendFunc(kind PacketKind, deliver func(uint64), arg uint64) {
+	arrival := b.occupy(kind)
+	b.k.AtFunc(arrival, deliver, arg)
+}
+
+// occupy books a packet of the given kind on the earliest-free channel,
+// updates the accounting, and returns the arrival tick.
+func (b *Bus) occupy(kind PacketKind) uint64 {
 	occ := occupancy(kind)
 	// Earliest-free channel.
 	ch := 0
@@ -150,10 +168,7 @@ func (b *Bus) Send(kind PacketKind, deliver func()) {
 	b.freeAt[ch] = start + occ
 	b.stats.BusyCycles += occ
 	b.stats.Packets[kind]++
-	arrival := start + occ + b.hopLat
-	if deliver != nil {
-		b.k.At(arrival, deliver)
-	}
+	return start + occ + b.hopLat
 }
 
 // HopLatency reports the configured one-way hop latency.

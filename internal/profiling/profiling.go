@@ -1,0 +1,59 @@
+// Package profiling wires the standard runtime/pprof CPU and heap
+// profiles into the CLIs, so future hot-path work can be profiled
+// without code edits:
+//
+//	spamer-run -spec x.json -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (empty = disabled) and returns
+// a stop function that finishes the CPU profile and, when memPath is
+// non-empty, writes a heap profile. Call the stop function exactly once,
+// after the workload completes; errors are fatal because a silently
+// missing profile defeats the point of asking for one.
+func Start(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profiling:", err)
+	os.Exit(1)
+}

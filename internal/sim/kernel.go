@@ -5,58 +5,40 @@
 // simulated 2 GHz machine (see internal/config). Events scheduled for the
 // same tick fire in scheduling order (FIFO), which makes runs bit-for-bit
 // reproducible: the kernel never runs two processes concurrently, and the
-// event heap breaks tick ties with a monotonically increasing sequence
-// number.
+// event queue breaks tick ties with a monotonically increasing sequence
+// number. See docs/SIMULATOR.md for the full determinism contract.
+//
+// The queue is a monomorphic calendar wheel (near future) backed by a
+// binary heap (far future); scheduling with At/After stores one closure
+// by value, and the AtFunc/AfterFunc forms take a func(uint64) plus
+// argument so steady-state hot paths schedule with zero allocations.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
-
-// Event is a closure scheduled to run at a simulated tick.
-type event struct {
-	tick uint64
-	seq  uint64
-	fn   func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].tick != h[j].tick {
-		return h[i].tick < h[j].tick
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
-}
+import "fmt"
 
 // Kernel is a discrete-event simulator instance. The zero value is not
 // usable; construct with New.
 type Kernel struct {
 	now      uint64
 	seq      uint64
-	events   eventHeap
+	events   eventQueue
 	procs    []*Proc
 	live     int // procs spawned and not yet finished
 	stopped  bool
 	maxTick  uint64 // watchdog: Run panics past this tick (0 = unlimited)
 	executed uint64 // total events dispatched, for diagnostics
+
+	// obs, when set, observes every dispatched event's (tick, seq) pair
+	// before its callback runs. Golden-trace tests use it to prove two
+	// kernels dispatch bit-identically.
+	obs func(tick, seq uint64)
 }
+
+// SetDispatchObserver installs fn to be called with the (tick, seq) pair
+// of every event immediately before it is dispatched, in dispatch order.
+// The observer must not schedule events. Pass nil to remove. Intended for
+// determinism tests; the nil check costs one branch per event.
+func (k *Kernel) SetDispatchObserver(fn func(tick, seq uint64)) { k.obs = fn }
 
 // New returns an empty kernel at tick zero.
 func New() *Kernel {
@@ -81,11 +63,30 @@ func (k *Kernel) At(t uint64, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at tick %d before now %d", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, event{tick: t, seq: k.seq, fn: fn})
+	k.events.push(event{tick: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d ticks from now.
 func (k *Kernel) After(d uint64, fn func()) { k.At(k.now+d, fn) }
+
+// AtFunc schedules fn(arg) to run at absolute tick t. It is the
+// allocation-free form of At: fn is typically a func value bound once at
+// construction time (a stored method value), and arg carries the per-event
+// state (an entry index, a packed flag), so the hot path schedules without
+// creating a closure. Ordering is identical to At — the two forms share
+// one sequence counter and one queue.
+func (k *Kernel) AtFunc(t uint64, fn func(uint64), arg uint64) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at tick %d before now %d", t, k.now))
+	}
+	k.seq++
+	k.events.push(event{tick: t, seq: k.seq, afn: fn, arg: arg})
+}
+
+// AfterFunc schedules fn(arg) to run d ticks from now (see AtFunc).
+func (k *Kernel) AfterFunc(d uint64, fn func(uint64), arg uint64) {
+	k.AtFunc(k.now+d, fn, arg)
+}
 
 // Stop makes Run return after the current event completes. Pending events
 // remain queued; a subsequent Run continues from where it left off.
@@ -96,9 +97,12 @@ func (k *Kernel) Stop() { k.stopped = true }
 // backwards, and the watchdog deadline converts livelock into a loud
 // panic instead of an endless spin.
 func (k *Kernel) dispatchNext() {
-	e := heap.Pop(&k.events).(event)
+	e, ok := k.events.pop()
+	if !ok {
+		panic("sim: dispatchNext on empty queue")
+	}
 	if e.tick < k.now {
-		panic("sim: event heap went backwards")
+		panic("sim: event queue went backwards")
 	}
 	k.now = e.tick
 	if k.maxTick != 0 && k.now > k.maxTick {
@@ -106,14 +110,17 @@ func (k *Kernel) dispatchNext() {
 			k.maxTick, k.now, k.live))
 	}
 	k.executed++
-	e.fn()
+	if k.obs != nil {
+		k.obs(e.tick, e.seq)
+	}
+	e.call()
 }
 
 // Run dispatches events in (tick, seq) order until the event queue drains,
 // Stop is called, or the watchdog deadline passes.
 func (k *Kernel) Run() {
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
+	for k.events.len() > 0 && !k.stopped {
 		k.dispatchNext()
 	}
 }
@@ -123,19 +130,21 @@ func (k *Kernel) Run() {
 // livelock below t panics rather than spinning.
 func (k *Kernel) RunUntil(t uint64) {
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
-		if k.events[0].tick > t {
+	for !k.stopped {
+		next, ok := k.events.nextTick()
+		if !ok || next > t {
 			break
 		}
 		k.dispatchNext()
 	}
 	if k.now < t {
 		k.now = t
+		k.events.advanceTo(t)
 	}
 }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.events.len() }
 
 // LiveProcs reports the number of spawned processes that have not finished.
 func (k *Kernel) LiveProcs() int { return k.live }
@@ -149,5 +158,5 @@ func (k *Kernel) Drain() {
 			p.abort()
 		}
 	}
-	k.events = nil
+	k.events.reset()
 }

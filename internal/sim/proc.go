@@ -10,14 +10,20 @@ import "fmt"
 // A process body blocks simulated time only through the Proc methods
 // (Sleep, Wait, Yield); ordinary Go computation takes zero simulated time.
 type Proc struct {
-	k        *Kernel
-	name     string
-	resume   chan struct{} // kernel -> proc: you may run
-	parked   chan struct{} // proc -> kernel: I yielded or finished
-	started  bool
-	finished bool
-	aborted  bool
-	wakes    uint64 // diagnostic: number of times resumed
+	k    *Kernel
+	name string
+	// sync is the single control-handoff channel. Kernel and process
+	// alternate strictly — the kernel sends to resume the process, the
+	// process sends to park itself — so one unbuffered channel carries
+	// both directions: at any moment at most one side is sending and the
+	// other receiving, and each wake or park is exactly one handoff.
+	sync       chan struct{}
+	dispatchFn func(uint64) // dispatch bound once, for AfterFunc scheduling
+	started    bool
+	finished   bool
+	aborted    bool
+	wakes      uint64 // diagnostic: number of times resumed
+	waitGen    uint64 // current wait token; see armWait
 }
 
 // procAbort is the panic value used to unwind an abandoned process.
@@ -28,11 +34,11 @@ type procAbort struct{}
 // body blocks on a Proc method.
 func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
-		k:      k,
-		name:   name,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
+		k:    k,
+		name: name,
+		sync: make(chan struct{}),
 	}
+	p.dispatchFn = func(uint64) { p.dispatch() }
 	k.procs = append(k.procs, p)
 	k.live++
 	k.After(0, func() {
@@ -49,17 +55,17 @@ func (p *Proc) run(body func(p *Proc)) {
 			if _, ok := r.(procAbort); ok {
 				p.finished = true
 				p.k.live--
-				p.parked <- struct{}{}
+				p.sync <- struct{}{}
 				return
 			}
 			panic(r)
 		}
 	}()
-	<-p.resume
+	<-p.sync
 	body(p)
 	p.finished = true
 	p.k.live--
-	p.parked <- struct{}{}
+	p.sync <- struct{}{}
 }
 
 // dispatch transfers control from the kernel goroutine to the process and
@@ -69,15 +75,15 @@ func (p *Proc) dispatch() {
 		return
 	}
 	p.wakes++
-	p.resume <- struct{}{}
-	<-p.parked
+	p.sync <- struct{}{}
+	<-p.sync
 }
 
 // yield parks the process and returns control to the kernel goroutine.
 // The process stays parked until some event calls dispatch again.
 func (p *Proc) yield() {
-	p.parked <- struct{}{}
-	<-p.resume
+	p.sync <- struct{}{}
+	<-p.sync
 	if p.aborted {
 		panic(procAbort{})
 	}
@@ -89,8 +95,8 @@ func (p *Proc) abort() {
 		return
 	}
 	p.aborted = true
-	p.resume <- struct{}{}
-	<-p.parked
+	p.sync <- struct{}{}
+	<-p.sync
 }
 
 // Name reports the process name given to Go.
@@ -109,22 +115,30 @@ func (p *Proc) Finished() bool { return p.finished }
 // Sleep(0) is a pure yield point: other events at the current tick run
 // before the process continues.
 func (p *Proc) Sleep(d uint64) {
-	p.k.After(d, p.dispatch)
+	p.k.AfterFunc(d, p.dispatchFn, 0)
 	p.yield()
 }
 
-// Wait parks the process until wake() is called on the returned handle.
-// The wake may come from any event (device callback, another process).
-// Waking schedules the resumption at the waker's current tick.
-func (p *Proc) waitPoint() func() {
-	fired := false
-	return func() {
-		if fired {
-			return
-		}
-		fired = true
-		p.k.After(0, p.dispatch)
+// armWait issues a wake token for the process's next park. A waker that
+// still holds the current token (fireWait with a matching gen) wakes the
+// process; issuing a new token or firing spends the old one, so a process
+// parked on several signals (WaitAny) wakes exactly once and stale
+// wake-ups are ignored. Tokens replace the per-wait closure the seed
+// kernel allocated (waitPoint), making Wait/Fire allocation-free.
+func (p *Proc) armWait() uint64 {
+	p.waitGen++
+	return p.waitGen
+}
+
+// fireWait wakes the process if gen is its current wait token; spent
+// tokens are ignored. Waking schedules the resumption at the waker's
+// current tick.
+func (p *Proc) fireWait(gen uint64) {
+	if gen != p.waitGen {
+		return
 	}
+	p.waitGen++ // spend the token: further fires are no-ops
+	p.k.AfterFunc(0, p.dispatchFn, 0)
 }
 
 // String implements fmt.Stringer for diagnostics.
@@ -136,12 +150,21 @@ func (p *Proc) String() string {
 	return fmt.Sprintf("proc(%s, %s, wakes=%d)", p.name, state, p.wakes)
 }
 
+// waiterRef is one parked process on a Signal: the process plus the wake
+// token it armed. Storing the pair by value keeps the waiter list free of
+// per-wait allocations.
+type waiterRef struct {
+	p   *Proc
+	gen uint64
+}
+
 // Signal is a broadcast wake-up point. Processes park on it with Wait;
 // Fire wakes every parked process (resumptions are scheduled at the firing
-// tick and dispatched in FIFO order). A Signal may be reused indefinitely.
+// tick and dispatched in FIFO order). A Signal may be reused indefinitely;
+// the waiter list's backing array is recycled across fires.
 type Signal struct {
 	name    string
-	waiters []func()
+	waiters []waiterRef
 	fires   uint64
 }
 
@@ -150,19 +173,23 @@ func NewSignal(name string) *Signal { return &Signal{name: name} }
 
 // Wait parks p until the next Fire.
 func (s *Signal) Wait(p *Proc) {
-	s.waiters = append(s.waiters, p.waitPoint())
+	s.waiters = append(s.waiters, waiterRef{p: p, gen: p.armWait()})
 	p.yield()
 }
 
 // Fire wakes all currently parked processes. Processes that Wait after
-// Fire returns park until the next Fire.
+// Fire returns park until the next Fire. Waking only schedules resumption
+// events — no process body runs inside Fire — so the waiter list can be
+// truncated in place and its backing array reused by the next round of
+// Waits.
 func (s *Signal) Fire() {
-	w := s.waiters
-	s.waiters = nil
 	s.fires++
-	for _, wake := range w {
-		wake()
+	w := s.waiters
+	for i := range w {
+		w[i].p.fireWait(w[i].gen)
+		w[i] = waiterRef{}
 	}
+	s.waiters = w[:0]
 }
 
 // Waiters reports how many processes are currently parked.
@@ -179,12 +206,13 @@ func WaitUntil(p *Proc, sig *Signal, cond func() bool) {
 	}
 }
 
-// WaitAny parks p until any of the given signals fires. A signal that
-// fires later finds a spent wake handle and ignores it.
+// WaitAny parks p until any of the given signals fires. The signals share
+// one wake token, so the first Fire wakes p and later fires find the
+// token spent and ignore it.
 func WaitAny(p *Proc, sigs ...*Signal) {
-	wake := p.waitPoint()
+	gen := p.armWait()
 	for _, s := range sigs {
-		s.waiters = append(s.waiters, wake)
+		s.waiters = append(s.waiters, waiterRef{p: p, gen: gen})
 	}
 	p.yield()
 }

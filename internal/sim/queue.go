@@ -1,0 +1,214 @@
+package sim
+
+// This file implements the kernel's event queue: a two-level monomorphic
+// priority queue on (tick, seq) that is allocation-free in steady state.
+//
+// The near future — delays 0..wheelSize-1, which is where the per-cycle
+// device ticks, bus deliveries, and retry backoffs of this repository
+// land — lives in a calendar wheel of wheelSize buckets indexed by
+// tick & wheelMask. Everything at or beyond now+wheelSize lives in a
+// hand-rolled binary min-heap ("far" heap). Both levels store event
+// structs by value in reusable backing arrays, so scheduling never boxes
+// through an interface and never heap-allocates once the arrays have
+// grown to the workload's high-water mark (container/heap's any-typed
+// Push allocated on every call).
+//
+// Ordering contract (identical to the seed container/heap queue): events
+// dispatch in strictly nondecreasing tick order, same-tick events in
+// scheduling (seq) order. The invariant that makes the wheel safe is:
+//
+//	the wheel holds exactly the pending events with tick < now+wheelSize;
+//	the far heap holds the rest.
+//
+// now only moves forward, and a tick T enters the window [now, now+wheelSize)
+// exactly once. advanceTo migrates far-heap events into the wheel at that
+// moment — in (tick, seq) heap order, before any event callback at the new
+// now can run — so every bucket append happens in increasing seq order and
+// a bucket drains FIFO by construction. Within the window, 64 consecutive
+// ticks map to 64 distinct buckets, so a bucket never mixes ticks.
+
+const (
+	wheelBits = 6
+	// wheelSize is the calendar window in ticks. 64 covers every
+	// short-delay scheduling pattern on the hot path (After(0..63):
+	// mapper ticks, send-issue spacing, bus serialization+hop, retry
+	// backoffs) while keeping the empty-bucket scan bounded and cheap.
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// event is one scheduled callback. Exactly one of fn and afn is set:
+// fn is the closure form (At/After), afn+arg the allocation-free form
+// (AtFunc/AfterFunc).
+type event struct {
+	tick uint64
+	seq  uint64
+	fn   func()
+	afn  func(uint64)
+	arg  uint64
+}
+
+// call dispatches the event's callback.
+func (e *event) call() {
+	if e.afn != nil {
+		e.afn(e.arg)
+	} else {
+		e.fn()
+	}
+}
+
+// bucket is one wheel slot: a FIFO of same-tick events. head indexes the
+// next event to dispatch; the backing array is reused across windows.
+type bucket struct {
+	head int
+	ev   []event
+}
+
+// eventQueue is the two-level queue. now mirrors the kernel's clock and
+// anchors the wheel window.
+type eventQueue struct {
+	now      uint64
+	wheel    [wheelSize]bucket
+	wheelLen int     // events currently in the wheel
+	far      []event // binary min-heap on (tick, seq); ticks >= now+wheelSize
+}
+
+// len reports the number of pending events.
+func (q *eventQueue) len() int { return q.wheelLen + len(q.far) }
+
+// push inserts an event. e.tick must be >= q.now (the kernel checks).
+func (q *eventQueue) push(e event) {
+	if e.tick-q.now < wheelSize {
+		b := &q.wheel[e.tick&wheelMask]
+		b.ev = append(b.ev, e)
+		q.wheelLen++
+		return
+	}
+	q.farPush(e)
+}
+
+// advanceTo moves the window start to t (monotone) and migrates far-heap
+// events that fall into the new window. Migration pops in (tick, seq)
+// order, so bucket appends stay seq-sorted: every event already in a
+// bucket for an in-window tick was appended when that tick entered the
+// window, and every future direct push carries a larger seq.
+func (q *eventQueue) advanceTo(t uint64) {
+	q.now = t
+	for len(q.far) > 0 && q.far[0].tick-t < wheelSize {
+		e := q.farPop()
+		b := &q.wheel[e.tick&wheelMask]
+		b.ev = append(b.ev, e)
+		q.wheelLen++
+	}
+}
+
+// nextTick reports the earliest pending tick without popping.
+func (q *eventQueue) nextTick() (uint64, bool) {
+	if q.wheelLen > 0 {
+		for d := uint64(0); d < wheelSize; d++ {
+			b := &q.wheel[(q.now+d)&wheelMask]
+			if b.head < len(b.ev) {
+				return q.now + d, true
+			}
+		}
+		panic("sim: wheelLen > 0 but no non-empty bucket")
+	}
+	if len(q.far) > 0 {
+		return q.far[0].tick, true
+	}
+	return 0, false
+}
+
+// pop removes and returns the earliest event, advancing the window to its
+// tick. The second return is false when the queue is empty.
+func (q *eventQueue) pop() (event, bool) {
+	if q.wheelLen == 0 {
+		if len(q.far) == 0 {
+			return event{}, false
+		}
+		// Jump the window to the far-heap minimum; migration refills
+		// the wheel with at least that event.
+		q.advanceTo(q.far[0].tick)
+	}
+	for d := uint64(0); d < wheelSize; d++ {
+		b := &q.wheel[(q.now+d)&wheelMask]
+		if b.head < len(b.ev) {
+			if d != 0 {
+				// The window slides forward before the event runs, so
+				// callbacks at the new now see a fully migrated wheel.
+				q.advanceTo(q.now + d)
+			}
+			e := b.ev[b.head]
+			b.ev[b.head] = event{} // release closure references for GC
+			b.head++
+			if b.head == len(b.ev) {
+				b.ev = b.ev[:0]
+				b.head = 0
+			}
+			q.wheelLen--
+			return e, true
+		}
+	}
+	panic("sim: wheelLen > 0 but no non-empty bucket")
+}
+
+// reset drops every pending event and releases the backing arrays.
+func (q *eventQueue) reset() {
+	for i := range q.wheel {
+		q.wheel[i] = bucket{}
+	}
+	q.wheelLen = 0
+	q.far = nil
+}
+
+// farPush / farPop implement a monomorphic binary min-heap on
+// (tick, seq) over the far slice — the same ordering container/heap gave
+// the seed kernel, minus the interface boxing.
+
+func (q *eventQueue) farPush(e event) {
+	h := append(q.far, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	q.far = h
+}
+
+func (q *eventQueue) farPop() event {
+	h := q.far
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release closure references for GC
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(&h[l], &h[small]) {
+			small = l
+		}
+		if r < n && eventLess(&h[r], &h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	q.far = h
+	return top
+}
+
+func eventLess(a, b *event) bool {
+	if a.tick != b.tick {
+		return a.tick < b.tick
+	}
+	return a.seq < b.seq
+}

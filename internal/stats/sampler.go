@@ -52,6 +52,7 @@ func (w Window) FailureRate() float64 {
 type Sampler struct {
 	sys    *spamer.System
 	period uint64
+	tickFn func(uint64) // periodic sampling callback, bound once
 
 	windows []Window
 
@@ -71,16 +72,19 @@ func Attach(sys *spamer.System, period uint64) *Sampler {
 		period = 4096
 	}
 	s := &Sampler{sys: sys, period: period}
-	var tick func()
-	tick = func() {
-		s.snapshot()
-		if sys.Kernel().LiveProcs() > 0 {
-			sys.Kernel().After(period, tick)
-		}
-	}
-	sys.Kernel().After(period, tick)
+	s.tickFn = s.tick
+	sys.Kernel().AfterFunc(period, s.tickFn, 0)
 	sys.OnDrain(s.Flush)
 	return s
+}
+
+// tick is the periodic sampling event. The bound func value in tickFn is
+// what gets scheduled, so the per-period reschedule allocates nothing.
+func (s *Sampler) tick(uint64) {
+	s.snapshot()
+	if s.sys.Kernel().LiveProcs() > 0 {
+		s.sys.Kernel().AfterFunc(s.period, s.tickFn, 0)
+	}
 }
 
 // Flush snapshots the tail of the run: the partial window between the

@@ -51,6 +51,20 @@ type Device struct {
 	nextSQI SQI
 
 	stats Stats
+
+	// Scheduling callbacks bound once at construction. The device
+	// schedules events every cycle while traffic flows (mapper ticks,
+	// send-issue spacing, bus deliveries); passing these stored func
+	// values through sim.Kernel.AfterFunc/noc.Bus.SendFunc with the
+	// entry index as the argument keeps the steady-state tick path free
+	// of per-event closure allocations.
+	mapperTickFn      func(uint64)
+	completeMappingFn func(uint64) // arg: prodBuf index
+	releaseSpecFn     func(uint64) // arg: prodBuf index
+	appendSendFn      func(uint64) // arg: prodBuf index
+	deliverStashFn    func(uint64) // arg: prodBuf index
+	handleResponseFn  func(uint64) // arg: prodBuf index << 1 | hit
+	sendIssueDoneFn   func(uint64)
 }
 
 // New creates a routing device on the given kernel, bus and address space.
@@ -91,6 +105,16 @@ func New(k *sim.Kernel, bus *noc.Bus, as *mem.AddressSpace, cfg Config) *Device 
 		d.link[i].consTail = nilIdx
 		d.link[i].prodHead = nilIdx
 		d.link[i].prodTail = nilIdx
+	}
+	d.mapperTickFn = func(uint64) { d.mapperTick() }
+	d.completeMappingFn = func(idx uint64) { d.completeMapping(int(idx)) }
+	d.releaseSpecFn = func(idx uint64) { d.releaseSpec(int(idx)) }
+	d.appendSendFn = func(idx uint64) { d.appendSend(int(idx)) }
+	d.deliverStashFn = d.deliverStash
+	d.handleResponseFn = func(arg uint64) { d.handleResponse(int(arg>>1), arg&1 != 0) }
+	d.sendIssueDoneFn = func(uint64) {
+		d.sendBusy = false
+		d.ensureSending()
 	}
 	return d
 }
@@ -273,8 +297,8 @@ func (d *Device) mapperTick() {
 		return
 	}
 	d.prod[idx].state = entryMapping
-	d.k.After(config.MapPipelineCycles, func() { d.completeMapping(idx) })
-	d.k.After(1, d.mapperTick)
+	d.k.AfterFunc(config.MapPipelineCycles, d.completeMappingFn, uint64(idx))
+	d.k.AfterFunc(1, d.mapperTickFn, 0)
 }
 
 func (d *Device) completeMapping(idx int) {
@@ -308,7 +332,7 @@ func (d *Device) completeMapping(idx int) {
 				if sendTick < d.k.Now() {
 					sendTick = d.k.Now()
 				}
-				d.k.At(sendTick, func() { d.releaseSpec(idx) })
+				d.k.AtFunc(sendTick, d.releaseSpecFn, uint64(idx))
 				break
 			}
 		}
@@ -412,18 +436,25 @@ func (d *Device) ensureSending() {
 	} else {
 		d.stats.DemandPushes++
 	}
-	target := e.target
-	msg := e.msg
-	d.bus.Send(noc.PktStash, func() {
-		line := d.as.Lookup(target)
-		hit := line.TryFill(msg)
-		// Response signal from the targeted cache controller (Figure 5).
-		d.bus.Send(noc.PktResp, func() { d.handleResponse(idx, hit) })
-	})
-	d.k.After(config.SendIssueCycles, func() {
-		d.sendBusy = false
-		d.ensureSending()
-	})
+	d.bus.SendFunc(noc.PktStash, d.deliverStashFn, uint64(idx))
+	d.k.AfterFunc(config.SendIssueCycles, d.sendIssueDoneFn, 0)
+}
+
+// deliverStash runs at the stash packet's arrival tick: the targeted
+// line tries to take the fill, and the hit/miss response signal travels
+// back to the device (Figure 5). The entry stays entryInFlight — and its
+// target and msg stay frozen — until handleResponse, so reading them at
+// delivery time is equivalent to capturing them at issue time without
+// allocating a closure per packet.
+func (d *Device) deliverStash(idx uint64) {
+	e := &d.prod[idx]
+	line := d.as.Lookup(e.target)
+	var hitBit uint64
+	if line.TryFill(e.msg) {
+		hitBit = 1
+	}
+	// Response signal from the targeted cache controller (Figure 5).
+	d.bus.SendFunc(noc.PktResp, d.handleResponseFn, idx<<1|hitBit)
 }
 
 // handleResponse implements the hit/miss outcomes of Figure 5: "hit
@@ -471,7 +502,7 @@ func (d *Device) handleResponse(idx int, hit bool) {
 		// request without a fill and strand the data (the consumer
 		// tracks one outstanding request per line and will not repost).
 		e.state = entrySpecWait // parked until its re-send tick
-		d.k.After(DemandRetryCycles, func() { d.appendSend(idx) })
+		d.k.AfterFunc(DemandRetryCycles, d.appendSendFn, uint64(idx))
 	}
 	if wasSpec {
 		// The response cleared the entry's on-fly throttle; buffered
@@ -526,7 +557,7 @@ func (d *Device) kickBuffered(s SQI) {
 		if sendTick < d.k.Now() {
 			sendTick = d.k.Now()
 		}
-		d.k.At(sendTick, func() { d.releaseSpec(idx) })
+		d.k.AtFunc(sendTick, d.releaseSpecFn, uint64(idx))
 	}
 }
 

@@ -339,12 +339,13 @@ func (s *System) collect() Result {
 // discovered lazily (threads create them after startup).
 func (s *System) startEvictionInjector(period uint64) {
 	victim := 0
-	var tick func()
-	tick = func() {
+	lines := make([]*mem.Line, 0, 64) // reused across ticks
+	var tickFn func(uint64)
+	tickFn = func(uint64) {
 		if s.kernel.LiveProcs() == 0 {
 			return
 		}
-		var lines []*mem.Line
+		lines = lines[:0]
 		for _, q := range s.queues {
 			for _, c := range q.inner.Consumers() {
 				lines = append(lines, c.Lines()...)
@@ -354,9 +355,9 @@ func (s *System) startEvictionInjector(period uint64) {
 			lines[victim%len(lines)].Evict()
 			victim++
 		}
-		s.kernel.After(period, tick)
+		s.kernel.AfterFunc(period, tickFn, 0)
 	}
-	s.kernel.After(period, tick)
+	s.kernel.AfterFunc(period, tickFn, 0)
 }
 
 // addStats sums two device counter snapshots (multi-device systems).
