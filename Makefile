@@ -6,7 +6,10 @@ GO ?= go
 
 # BENCH_JSON tracks the perf trajectory across PRs: bump the suffix when
 # a PR materially changes the benchmark surface and commit the new file.
-BENCH_JSON ?= BENCH_3.json
+# BENCH_BASELINE is the prior snapshot; bench-ci prints a benchstat-style
+# delta against it (informational, never blocking).
+BENCH_JSON ?= BENCH_4.json
+BENCH_BASELINE ?= BENCH_3.json
 
 all: check
 
@@ -40,7 +43,7 @@ bench:
 # regressions in the job log without gating merges on noisy
 # shared-runner timings.
 bench-ci:
-	$(GO) test -run=NONE -bench=. -benchmem -benchtime=10x ./internal/sim ./internal/experiments | $(GO) run ./cmd/spamer-benchjson -out bench-ci.json
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=10x ./internal/sim ./internal/experiments | $(GO) run ./cmd/spamer-benchjson -out bench-ci.json -baseline $(BENCH_BASELINE)
 
 # Regenerate every evaluation artifact to stdout.
 repro: figures trace sweep latency area

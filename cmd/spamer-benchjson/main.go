@@ -7,11 +7,16 @@
 // (so the human-readable stream survives the pipe), and writes a JSON
 // object keyed by "<package>/<BenchmarkName>" to -out:
 //
-//	go test -bench=. -benchmem ./... | spamer-benchjson -out BENCH_3.json
+//	go test -bench=. -benchmem ./... | spamer-benchjson -out BENCH_4.json
 //
 // Sub-benchmarks keep their slash-separated names; the trailing
 // -<GOMAXPROCS> suffix Go appends is stripped so keys stay stable across
 // machines.
+//
+// -baseline OLD.json additionally prints a benchstat-style delta table
+// (ns/op and allocs/op, old vs new, percent change) to stderr. The
+// comparison is informational — it never affects the exit status — so
+// CI can surface regressions without gating merges on noisy timings.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -37,6 +43,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	out := flag.String("out", "BENCH.json", "output JSON path")
+	baseline := flag.String("baseline", "", "prior BENCH_<n>.json to diff against (delta table on stderr; never fails the run)")
 	flag.Parse()
 
 	entries := map[string]Entry{}
@@ -103,4 +110,68 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "spamer-benchjson: wrote %d benchmarks to %s\n", len(entries), *out)
+	if *baseline != "" {
+		printDeltas(*baseline, entries)
+	}
+}
+
+// printDeltas renders a benchstat-style comparison of entries against a
+// prior BENCH_<n>.json on stderr. Failures to read or parse the
+// baseline are reported and swallowed: the delta table is a diagnostic,
+// not a gate.
+func printDeltas(path string, entries map[string]Entry) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spamer-benchjson: baseline:", err)
+		return
+	}
+	var old map[string]Entry
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintln(os.Stderr, "spamer-benchjson: baseline:", err)
+		return
+	}
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "\nvs %s:\n", path)
+	fmt.Fprintf(os.Stderr, "%-64s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	for _, name := range names {
+		e := entries[name]
+		o, ok := old[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%-64s %14s %14.0f %8s %10.0f\n", name, "-", e.NsPerOp, "new", e.AllocsPerOp)
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (e.NsPerOp-o.NsPerOp)/o.NsPerOp*100)
+		}
+		allocs := fmt.Sprintf("%.0f", e.AllocsPerOp)
+		if e.AllocsPerOp != o.AllocsPerOp {
+			allocs = fmt.Sprintf("%.0f->%.0f", o.AllocsPerOp, e.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "%-64s %14.0f %14.0f %8s %10s\n", name, o.NsPerOp, e.NsPerOp, delta, allocs)
+	}
+	// Report disappeared benchmarks only for packages this run actually
+	// benchmarked: bench-ci compares a package subset against the full
+	// baseline, and flagging every out-of-scope benchmark as "removed"
+	// would drown the table.
+	ranPkg := map[string]bool{}
+	for name := range entries {
+		ranPkg[name[:strings.LastIndex(name, "/")]] = true
+	}
+	removed := make([]string, 0)
+	for name := range old {
+		if i := strings.LastIndex(name, "/"); i >= 0 && ranPkg[name[:i]] {
+			if _, ok := entries[name]; !ok {
+				removed = append(removed, name)
+			}
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(os.Stderr, "%-64s removed\n", name)
+	}
 }

@@ -15,9 +15,13 @@
 //	echo '{"benchmark":"FIR","algorithms":["vl","0delay"]}' | spamer-run
 //
 // Spec fields: benchmark, algorithms, scale, hop_latency, bus_channels,
-// devices, no_inline, srd_entries, tuned{zeta,tau,delta,alpha,beta},
+// devices, no_inline, srd_entries, domains (multi-domain kernel worker
+// lanes; 0 = sequential), tuned{zeta,tau,delta,alpha,beta},
 // repeat (determinism check), label,
 // extensions{allow_extended_workloads}.
+//
+// -domains N overrides the domains field of every spec in the batch
+// (parallel-safe benchmarks only; the spec validator rejects the rest).
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 func main() {
 	specPath := flag.String("spec", "-", "spec file path, or - for stdin")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	domains := flag.Int("domains", -1, "override every spec's domains field (-1 = leave specs as written)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -54,6 +59,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *domains >= 0 {
+		for i := range specs {
+			specs[i].Domains = *domains
+		}
 	}
 
 	results := experiments.RunSpecsParallel(context.Background(), specs, harness.Options{

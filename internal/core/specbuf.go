@@ -58,9 +58,14 @@ type PredState struct {
 // SpecBuf is the speculative-target store plus the specHead column that
 // linkTabSpec adds to linkTab.
 type SpecBuf struct {
-	entries  []SpecEntry
-	free     []int
-	specHead map[vl.SQI]int // linkTabSpec.specHead
+	entries []SpecEntry
+	free    []int
+	// specHead is the linkTabSpec.specHead column, indexed directly by
+	// SQI. The SQI space is small and bounded by config, so a dense slice
+	// (-1 = no entries) replaces the previous map and keeps Stage 3's
+	// target selection free of map hashing. The slice grows on demand to
+	// the highest SQI ever registered.
+	specHead []int32
 	alg      DelayAlgorithm
 }
 
@@ -71,9 +76,8 @@ func NewSpecBuf(n int, alg DelayAlgorithm) *SpecBuf {
 		n = config.SRDEntries
 	}
 	b := &SpecBuf{
-		entries:  make([]SpecEntry, n),
-		specHead: make(map[vl.SQI]int),
-		alg:      alg,
+		entries: make([]SpecEntry, n),
+		alg:     alg,
 	}
 	for i := n - 1; i >= 0; i-- {
 		b.free = append(b.free, i)
@@ -83,6 +87,24 @@ func NewSpecBuf(n int, alg DelayAlgorithm) *SpecBuf {
 
 // Algorithm returns the installed delay-prediction algorithm.
 func (b *SpecBuf) Algorithm() DelayAlgorithm { return b.alg }
+
+// headOf reads the specHead of an SQI; ok is false when the SQI has no
+// registered entries.
+func (b *SpecBuf) headOf(sqi vl.SQI) (int, bool) {
+	if int(sqi) >= len(b.specHead) || b.specHead[sqi] < 0 {
+		return 0, false
+	}
+	return int(b.specHead[sqi]), true
+}
+
+// setHead records idx as the specHead of sqi, growing the dense column
+// (filled with the -1 sentinel) the first time a high SQI appears.
+func (b *SpecBuf) setHead(sqi vl.SQI, idx int) {
+	for int(sqi) >= len(b.specHead) {
+		b.specHead = append(b.specHead, -1)
+	}
+	b.specHead[sqi] = int32(idx)
+}
 
 // Register implements vl.SpecExtension: one spamer_register call creates
 // one specBuf entry covering n lines from base, linked into the SQI's
@@ -108,10 +130,10 @@ func (b *SpecBuf) Register(sqi vl.SQI, base mem.Addr, n int) error {
 		Len:   n,
 		Pred:  b.alg.Initial(),
 	}
-	head, ok := b.specHead[sqi]
+	head, ok := b.headOf(sqi)
 	if !ok {
 		e.Next = idx // singleton loop
-		b.specHead[sqi] = idx
+		b.setHead(sqi, idx)
 		return nil
 	}
 	// Insert after the current head, keeping the loop closed.
@@ -122,7 +144,7 @@ func (b *SpecBuf) Register(sqi vl.SQI, base mem.Addr, n int) error {
 
 // Unregister removes every entry of an SQI (endpoint teardown).
 func (b *SpecBuf) Unregister(sqi vl.SQI) {
-	head, ok := b.specHead[sqi]
+	head, ok := b.headOf(sqi)
 	if !ok {
 		return
 	}
@@ -136,7 +158,7 @@ func (b *SpecBuf) Unregister(sqi vl.SQI) {
 		}
 		idx = next
 	}
-	delete(b.specHead, sqi)
+	b.specHead[sqi] = -1
 }
 
 // SelectTarget implements vl.SpecExtension: walk the SQI's entry loop
@@ -145,7 +167,7 @@ func (b *SpecBuf) Unregister(sqi vl.SQI) {
 // for the send tick, set on-fly, and advance specHead along Next — the
 // Stage-3 write-back of §3.2.
 func (b *SpecBuf) SelectTarget(sqi vl.SQI, now uint64) (addr mem.Addr, cookie int, sendTick uint64, ok bool) {
-	head, exists := b.specHead[sqi]
+	head, exists := b.headOf(sqi)
 	if !exists {
 		return 0, 0, 0, false
 	}
@@ -159,7 +181,7 @@ func (b *SpecBuf) SelectTarget(sqi vl.SQI, now uint64) (addr mem.Addr, cookie in
 				sendTick = cap
 			}
 			e.OnFly = true
-			b.specHead[sqi] = e.Next
+			b.specHead[sqi] = int32(e.Next)
 			return addr, idx, sendTick, true
 		}
 		idx = e.Next
@@ -203,7 +225,7 @@ func (b *SpecBuf) FreeEntries() int { return len(b.free) }
 // EntriesOf returns the entry indices of an SQI in loop order starting at
 // the current specHead. Intended for tests.
 func (b *SpecBuf) EntriesOf(sqi vl.SQI) []int {
-	head, ok := b.specHead[sqi]
+	head, ok := b.headOf(sqi)
 	if !ok {
 		return nil
 	}

@@ -26,6 +26,19 @@ const (
 	goldenTicksFIRTuned = 96727
 )
 
+// Golden dispatch-trace hashes for the multi-domain kernel on the same
+// FIR configuration. The parallel fabric is a distinct deterministic
+// model variant (per-core bus slices; device-write acceptance learned a
+// response trip after arrival), so its trace differs from the sequential
+// goldens above — but it must be bit-identical for every worker-lane
+// count. The hash folds the per-domain FNV-1a streams in domain order.
+const (
+	goldenParTraceFIRVL    = 0x8fd0b17e66079539
+	goldenParTraceFIRTuned = 0xc8ec235ec5be1ef9
+	goldenParTicksFIRVL    = 130252
+	goldenParTicksFIRTuned = 107469
+)
+
 // fnv1aPair folds one (tick, seq) pair into an FNV-1a style hash
 // without allocating.
 func fnv1aPair(h, tick, seq uint64) uint64 {
@@ -79,6 +92,46 @@ func TestGoldenDispatchTrace(t *testing.T) {
 		}
 		if res.Ticks != tc.ticks {
 			t.Errorf("%s: ticks = %d, golden %d", tc.alg, res.Ticks, tc.ticks)
+		}
+	}
+}
+
+// TestGoldenParallelTrace proves the multi-domain kernel dispatches a
+// bit-identical event trace regardless of worker-lane count: the same
+// golden FIR configuration at domains 1, 2, 4, and 8 must reproduce the
+// recorded hash and tick count exactly. Any divergence means the
+// conservative barrier or the mailbox merge order leaked execution
+// nondeterminism into simulated time.
+func TestGoldenParallelTrace(t *testing.T) {
+	w, ok := workloads.ByName("FIR")
+	if !ok {
+		t.Fatal("FIR workload missing")
+	}
+	for _, tc := range []struct {
+		alg   string
+		hash  uint64
+		ticks uint64
+	}{
+		{spamer.AlgBaseline, goldenParTraceFIRVL, goldenParTicksFIRVL},
+		{spamer.AlgTuned, goldenParTraceFIRTuned, goldenParTicksFIRTuned},
+	} {
+		for _, domains := range []int{1, 2, 4, 8} {
+			cfg := spamer.Config{
+				Algorithm: tc.alg,
+				Tuned:     config.TunedParams{Zeta: 512, Tau: 96, Delta: 64, Alpha: 1, Beta: 2},
+				Domains:   domains,
+			}
+			sys := spamer.NewSystem(cfg)
+			sys.EnableDispatchTrace()
+			w.Build(sys, 1)
+			res := sys.Run()
+			if h := sys.DispatchTraceHash(); h != tc.hash {
+				t.Errorf("%s domains=%d: dispatch trace hash = %#x, golden %#x (worker count leaked into the trace)",
+					tc.alg, domains, h, tc.hash)
+			}
+			if res.Ticks != tc.ticks {
+				t.Errorf("%s domains=%d: ticks = %d, golden %d", tc.alg, domains, res.Ticks, tc.ticks)
+			}
 		}
 	}
 }

@@ -31,6 +31,7 @@ type Spec struct {
 	Devices    int         `json:"devices,omitempty"`
 	NoInline   bool        `json:"no_inline,omitempty"`
 	SRDEntries int         `json:"srd_entries,omitempty"`
+	Domains    int         `json:"domains,omitempty"` // >0: multi-domain kernel with this many worker lanes
 	Tuned      *TunedSpec  `json:"tuned,omitempty"`
 	Repeat     int         `json:"repeat,omitempty"` // determinism check
 	Label      string      `json:"label,omitempty"`
@@ -86,6 +87,15 @@ func (s *Spec) Validate() error {
 	if s.Scale < 0 || s.Repeat < 0 {
 		return fmt.Errorf("experiments: negative scale/repeat")
 	}
+	if s.Domains < 0 {
+		return fmt.Errorf("experiments: negative domains")
+	}
+	if s.Domains > 0 {
+		w, _ := s.workload()
+		if !w.ParallelSafe {
+			return fmt.Errorf("experiments: benchmark %q is not parallel-safe (domains must be 0)", s.Benchmark)
+		}
+	}
 	return nil
 }
 
@@ -115,6 +125,7 @@ func (s *Spec) systemConfig(alg string) spamer.Config {
 		BusChannels: s.Channels,
 		Devices:     s.Devices,
 		NoInline:    s.NoInline,
+		Domains:     s.Domains,
 		Deadline:    1 << 40,
 	}
 	if s.SRDEntries > 0 {
@@ -127,6 +138,13 @@ func (s *Spec) systemConfig(alg string) spamer.Config {
 		}
 	}
 	return cfg
+}
+
+// EffectiveDomains reports the worker-lane count runs of this spec will
+// use: the Domains field as the simulator resolves it (0 = the
+// sequential reference kernel).
+func (s *Spec) EffectiveDomains() int {
+	return s.systemConfig(spamer.AlgBaseline).EffectiveDomains()
 }
 
 // Run executes the spec, returning one Outcome per algorithm.

@@ -28,6 +28,29 @@ const RetryBackoffCycles = 12
 // always means a deadlocked workload.
 const MaxRetries = 1 << 20
 
+// Port is one endpoint's ordered device-write channel: the store-buffer
+// abstraction behind Sender (same-domain) and RemoteSender (cross-domain).
+// Ops implementations only accept ports they created.
+type Port interface {
+	// Pending reports queued-but-unaccepted writes.
+	Pending() int
+}
+
+// Ops is the instruction-set surface the queue library issues against: a
+// local ISA when the calling core shares the routing device's simulation
+// domain, or a RemoteISA that carries the same operations across a
+// conservative domain boundary. Timing differs (a remote push learns its
+// acceptance a response trip later); the operation semantics do not.
+type Ops interface {
+	Select(p *sim.Proc)
+	NewPushPort() Port
+	NewFetchPort() Port
+	Push(p *sim.Proc, port Port, sqi vl.SQI, msg mem.Message, accepted func())
+	Fetch(p *sim.Proc, port Port, sqi vl.SQI, target mem.Addr)
+	Register(p *sim.Proc, sqi vl.SQI, base mem.Addr, n int)
+	Stats() Stats
+}
+
 // ISA issues the VL/SPAMeR operations against one routing device.
 type ISA struct {
 	k   *sim.Kernel
@@ -97,6 +120,12 @@ func (i *ISA) NewPushSender() *Sender { return newSender(i, noc.PktPush) }
 // endpoint.
 func (i *ISA) NewFetchSender() *Sender { return newSender(i, noc.PktFetchReq) }
 
+// NewPushPort implements Ops.
+func (i *ISA) NewPushPort() Port { return i.NewPushSender() }
+
+// NewFetchPort implements Ops.
+func (i *ISA) NewFetchPort() Port { return i.NewFetchSender() }
+
 func newSender(i *ISA, kind noc.PacketKind) *Sender {
 	s := &Sender{i: i, kind: kind}
 	s.deliverFn = s.delivered
@@ -154,7 +183,8 @@ func (s *Sender) Pending() int { return len(s.q) }
 // line's coherence state. The calling process is charged the issue cost;
 // delivery and NACK replay proceed asynchronously. accepted runs (at the
 // acceptance tick) once the device takes ownership; it may be nil.
-func (i *ISA) Push(p *sim.Proc, snd *Sender, sqi vl.SQI, msg mem.Message, accepted func()) {
+func (i *ISA) Push(p *sim.Proc, port Port, sqi vl.SQI, msg mem.Message, accepted func()) {
+	snd := port.(*Sender)
 	i.stats.Pushes++
 	p.Sleep(config.VLPushCycles)
 	snd.enqueue(senderOp{
@@ -166,7 +196,8 @@ func (i *ISA) Push(p *sim.Proc, snd *Sender, sqi vl.SQI, msg mem.Message, accept
 // Fetch models vl_fetch through the endpoint's ordered sender: write the
 // selected consumer-line physical address to the device-memory range of
 // consBuf. Posted; NACKs replay in order.
-func (i *ISA) Fetch(p *sim.Proc, snd *Sender, sqi vl.SQI, target mem.Addr) {
+func (i *ISA) Fetch(p *sim.Proc, port Port, sqi vl.SQI, target mem.Addr) {
+	snd := port.(*Sender)
 	i.stats.Fetches++
 	p.Sleep(config.VLFetchCycles)
 	snd.enqueue(senderOp{
@@ -187,3 +218,5 @@ func (i *ISA) Register(p *sim.Proc, sqi vl.SQI, base mem.Addr, n int) {
 		}
 	})
 }
+
+var _ Ops = (*ISA)(nil)

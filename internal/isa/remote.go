@@ -1,0 +1,192 @@
+package isa
+
+// RemoteISA carries the VL/SPAMeR operations across a conservative
+// simulation-domain boundary: the issuing core and the routing device run
+// on different kernels of a sim.ParallelKernel, so a device write cannot
+// call into the device directly. Instead the write occupies the issuing
+// domain's bus slice (which fixes an arrival tick at least one lookahead
+// ahead), travels as a packed cross-domain post, executes at the hub via
+// vl.Hub.Exec, and the accept/NACK outcome returns as another post one
+// lookahead later.
+//
+// The semantics match the same-domain ISA: per-endpoint writes are
+// ordered (store-buffer), NACKs replay with backoff without letting
+// younger writes overtake, and registration failures panic. The timing
+// differs in one documented way — acceptance is learned a response trip
+// after arrival rather than instantaneously — which is why multi-domain
+// runs are a distinct deterministic model variant with their own golden
+// traces rather than a bit-identical reproduction of the sequential ones.
+
+import (
+	"fmt"
+
+	"spamer/internal/config"
+	"spamer/internal/mem"
+	"spamer/internal/noc"
+	"spamer/internal/sim"
+	"spamer/internal/vl"
+)
+
+// RemoteISA issues operations from one core domain to one routing-device
+// hub. One instance exists per (device, issuing domain) pair; all of its
+// state lives in the issuing domain.
+type RemoteISA struct {
+	k      *sim.Kernel // issuing-domain kernel
+	bus    *noc.Bus    // issuing domain's bus slice
+	hub    *vl.Hub
+	post   vl.PostFunc
+	src    int // issuing domain index
+	hubDom int
+
+	execFn func(a0, a1, a2, a3 uint64) // hub.Exec, bound once
+
+	stats   Stats
+	senders []*RemoteSender
+}
+
+// NewRemote returns a remote ISA issuing from srcDomain against the given
+// hub. It binds its response dispatcher into the hub, so construction
+// must happen at setup time, before any traffic flows.
+func NewRemote(k *sim.Kernel, bus *noc.Bus, hub *vl.Hub, post vl.PostFunc, srcDomain int) *RemoteISA {
+	r := &RemoteISA{k: k, bus: bus, hub: hub, post: post, src: srcDomain, hubDom: hub.Domain()}
+	r.execFn = hub.ExecFn()
+	hub.Bind(srcDomain, r.response)
+	return r
+}
+
+// Stats returns a snapshot of the operation counters.
+func (r *RemoteISA) Stats() Stats { return r.stats }
+
+// Select models vl_select. Pure core-side cost, identical to ISA.Select.
+func (r *RemoteISA) Select(p *sim.Proc) {
+	r.stats.Selects++
+	p.Sleep(config.VLSelectCycles)
+}
+
+// response dispatches a hub accept/NACK outcome to the issuing sender.
+// It runs in the issuing domain at the response's arrival tick.
+func (r *RemoteISA) response(a0, a1, a2, a3 uint64) {
+	r.senders[a0>>1].delivered(a0&1 != 0)
+}
+
+// RemoteSender is the cross-domain Port: it issues the device writes of
+// one endpoint in order, holding younger writes until the hub accepts the
+// head — the same store-buffer discipline as Sender, stretched over a
+// round trip.
+type RemoteSender struct {
+	r        *RemoteISA
+	id       int
+	kind     noc.PacketKind
+	q        []remoteOp
+	busy     bool
+	attempts uint64
+	replayFn func(uint64)
+}
+
+type remoteOp struct {
+	sqi      vl.SQI
+	target   mem.Addr    // fetch target
+	msg      mem.Message // push payload
+	accepted func()      // runs at the acceptance tick; may be nil
+	push     bool
+}
+
+func (r *RemoteISA) newSender(kind noc.PacketKind) *RemoteSender {
+	s := &RemoteSender{r: r, id: len(r.senders), kind: kind}
+	s.replayFn = func(uint64) { s.send() }
+	r.senders = append(r.senders, s)
+	return s
+}
+
+// NewPushPort implements Ops.
+func (r *RemoteISA) NewPushPort() Port { return r.newSender(noc.PktPush) }
+
+// NewFetchPort implements Ops.
+func (r *RemoteISA) NewFetchPort() Port { return r.newSender(noc.PktFetchReq) }
+
+// Pending reports queued-but-unaccepted writes.
+func (s *RemoteSender) Pending() int { return len(s.q) }
+
+func (s *RemoteSender) enqueue(op remoteOp) {
+	s.q = append(s.q, op)
+	s.issue()
+}
+
+func (s *RemoteSender) issue() {
+	if s.busy || len(s.q) == 0 {
+		return
+	}
+	s.busy = true
+	s.send()
+}
+
+// send occupies the issuing domain's bus slice and posts the head op to
+// the hub at its arrival tick. The arrival is at least hop+serialization
+// past now, so it always satisfies the parallel kernel's lookahead.
+func (s *RemoteSender) send() {
+	op := &s.q[0]
+	arrival := s.r.bus.Occupy(s.kind)
+	if op.push {
+		s.r.post(s.r.src, s.r.hubDom, arrival, s.r.execFn,
+			vl.PackPushOp(s.r.src, s.id, op.sqi), vl.PackPushPayload(op.msg), op.msg.Payload, 0)
+	} else {
+		s.r.post(s.r.src, s.r.hubDom, arrival, s.r.execFn,
+			vl.PackFetchOp(s.r.src, s.id, op.sqi), uint64(op.target), 0, 0)
+	}
+}
+
+// delivered runs at the response's arrival tick in the issuing domain.
+func (s *RemoteSender) delivered(ok bool) {
+	if !ok {
+		s.attempts++
+		if s.attempts >= MaxRetries {
+			panic("isa: remote device-write replay bound exceeded (deadlocked workload?)")
+		}
+		s.r.stats.Replays++
+		s.r.k.AfterFunc(RetryBackoffCycles, s.replayFn, 0)
+		return
+	}
+	op := s.q[0]
+	s.q = s.q[1:]
+	s.busy = false
+	s.attempts = 0
+	if op.accepted != nil {
+		op.accepted()
+	}
+	s.issue()
+}
+
+// Push models vl_push through the endpoint's ordered remote sender.
+// accepted runs at the acceptance-response arrival tick (one cross-domain
+// round trip after issue at minimum); it may be nil.
+func (r *RemoteISA) Push(p *sim.Proc, port Port, sqi vl.SQI, msg mem.Message, accepted func()) {
+	snd := port.(*RemoteSender)
+	r.stats.Pushes++
+	p.Sleep(config.VLPushCycles)
+	snd.enqueue(remoteOp{sqi: sqi, msg: msg, accepted: accepted, push: true})
+}
+
+// Fetch models vl_fetch through the endpoint's ordered remote sender.
+func (r *RemoteISA) Fetch(p *sim.Proc, port Port, sqi vl.SQI, target mem.Addr) {
+	snd := port.(*RemoteSender)
+	r.stats.Fetches++
+	p.Sleep(config.VLFetchCycles)
+	snd.enqueue(remoteOp{sqi: sqi, target: target})
+}
+
+// Register models spamer_register: fire-and-forget to the hub, where a
+// failure (specBuf exhausted) panics like a same-domain register would.
+func (r *RemoteISA) Register(p *sim.Proc, sqi vl.SQI, base mem.Addr, n int) {
+	if n < 0 || uint64(n) > seqLimit {
+		panic(fmt.Sprintf("isa: remote register with %d lines", n))
+	}
+	r.stats.Registers++
+	p.Sleep(config.SpamerRegCycles)
+	arrival := r.bus.Occupy(noc.PktRegister)
+	r.post(r.src, r.hubDom, arrival, r.execFn, vl.PackRegisterOp(r.src, sqi), uint64(base), uint64(n), 0)
+}
+
+// seqLimit bounds packed integer fields (48 bits), matching vl's packing.
+const seqLimit = 1<<48 - 1
+
+var _ Ops = (*RemoteISA)(nil)

@@ -85,7 +85,15 @@ type Line struct {
 
 // NewLine returns an empty line at the given address.
 func NewLine(k *sim.Kernel, addr Addr) *Line {
-	return &Line{
+	l := &Line{}
+	l.init(k, addr)
+	return l
+}
+
+// init places an empty line at addr into existing storage. AddressSpace
+// uses it to construct lines in place inside its dense chunk table.
+func (l *Line) init(k *sim.Kernel, addr Addr) {
+	*l = Line{
 		Addr:       addr,
 		State:      LineEmpty,
 		k:          k,

@@ -15,43 +15,66 @@ type Page struct {
 	Lines []*Line
 }
 
-// pageAllocator hands out non-overlapping address ranges. Each endpoint
-// gets a unique page, which is precisely VL's no-shared-state property.
-type pageAllocator struct {
-	next Addr
-}
+// linesPerChunk sizes the dense line-table chunks. Chunks are fixed
+// arrays so &chunk[i] stays valid forever (they are never moved or
+// resized), which lets Pages and the routing device hold *Line into
+// storage that is contiguous by value.
+const linesPerChunk = 256
 
 // AddressSpace allocates endpoint pages with unique, non-overlapping
 // cache-line addresses, and resolves addresses back to lines (the routing
 // device needs this to deliver stashes).
+//
+// Lines are stored by value in fixed-size chunks and indexed by the
+// allocation order implied by the address, so Lookup is two shifts and
+// two loads — no map hashing, no per-line heap object — and neighbouring
+// lines of a page share cache lines of the host.
 type AddressSpace struct {
-	k     *sim.Kernel
-	alloc pageAllocator
-	lines map[Addr]*Line
+	k      *sim.Kernel
+	base   Addr
+	next   Addr
+	n      int // allocated lines
+	chunks []*[linesPerChunk]Line
 }
 
 // NewAddressSpace returns an empty address space starting at a non-zero
 // base (address 0 is reserved as the nil/NULL target of the mapping
 // pipeline, Figure 4).
 func NewAddressSpace(k *sim.Kernel) *AddressSpace {
-	return &AddressSpace{
-		k:     k,
-		alloc: pageAllocator{next: Addr(config.LineBytes)},
-		lines: make(map[Addr]*Line),
-	}
+	return NewAddressSpaceAt(k, 0)
 }
+
+// NewAddressSpaceAt returns an empty address space whose allocations
+// start one line above base. A multi-domain system gives each domain its
+// own space at a distinct base so an address identifies its owning
+// domain; base itself is never allocated, preserving the reserved-NULL
+// convention of NewAddressSpace at every base.
+func NewAddressSpaceAt(k *sim.Kernel, base Addr) *AddressSpace {
+	if base%Addr(config.LineBytes) != 0 {
+		panic(fmt.Sprintf("mem: address-space base %#x not line-aligned", uint64(base)))
+	}
+	return &AddressSpace{k: k, base: base, next: base + Addr(config.LineBytes)}
+}
+
+// Base reports the base address of the space (the reserved line below the
+// first allocation).
+func (as *AddressSpace) Base() Addr { return as.base }
 
 // NewPage allocates a page of n lines.
 func (as *AddressSpace) NewPage(n int) *Page {
 	if n <= 0 {
 		panic(fmt.Sprintf("mem: NewPage(%d)", n))
 	}
-	p := &Page{Base: as.alloc.next, Lines: make([]*Line, n)}
+	p := &Page{Base: as.next, Lines: make([]*Line, n)}
 	for i := range p.Lines {
-		l := NewLine(as.k, as.alloc.next)
-		as.lines[l.Addr] = l
+		if as.n%linesPerChunk == 0 {
+			as.chunks = append(as.chunks, new([linesPerChunk]Line))
+		}
+		l := &as.chunks[as.n/linesPerChunk][as.n%linesPerChunk]
+		l.init(as.k, as.next)
 		p.Lines[i] = l
-		as.alloc.next += Addr(config.LineBytes)
+		as.n++
+		as.next += Addr(config.LineBytes)
 	}
 	return p
 }
@@ -59,15 +82,15 @@ func (as *AddressSpace) NewPage(n int) *Page {
 // Lookup resolves a line address. It panics on unknown addresses: the
 // routing device only ever holds addresses that endpoints registered.
 func (as *AddressSpace) Lookup(a Addr) *Line {
-	l, ok := as.lines[a]
-	if !ok {
-		panic(fmt.Sprintf("mem: unknown line address %#x", uint64(a)))
+	if a > as.base && a < as.next && a%Addr(config.LineBytes) == 0 {
+		idx := int((a-as.base)/Addr(config.LineBytes)) - 1
+		return &as.chunks[idx/linesPerChunk][idx%linesPerChunk]
 	}
-	return l
+	panic(fmt.Sprintf("mem: unknown line address %#x", uint64(a)))
 }
 
 // NumLines reports how many lines have been allocated.
-func (as *AddressSpace) NumLines() int { return len(as.lines) }
+func (as *AddressSpace) NumLines() int { return as.n }
 
 // Occupancy sums empty/valid tick integrals over a set of lines; the
 // Figure 9 harness averages this over all consumer lines of a run.

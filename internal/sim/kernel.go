@@ -27,6 +27,7 @@ type Kernel struct {
 	stopped  bool
 	maxTick  uint64 // watchdog: Run panics past this tick (0 = unlimited)
 	executed uint64 // total events dispatched, for diagnostics
+	lastTick uint64 // tick of the last dispatched event (not moved by RunUntil)
 
 	// obs, when set, observes every dispatched event's (tick, seq) pair
 	// before its callback runs. Golden-trace tests use it to prove two
@@ -50,6 +51,17 @@ func (k *Kernel) Now() uint64 { return k.now }
 
 // Executed reports how many events have been dispatched so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
+
+// LastEventTick reports the tick of the most recently dispatched event.
+// Unlike Now it is not moved forward by RunUntil's clock advance, so it
+// reports when the kernel last did real work — the parallel coordinator
+// uses the maximum over domains as the run's end-to-end execution time.
+func (k *Kernel) LastEventTick() uint64 { return k.lastTick }
+
+// NextTick reports the earliest pending event's tick; ok is false when
+// the queue is empty. The parallel coordinator uses it to find the global
+// quantum start and to skip idle domains.
+func (k *Kernel) NextTick() (uint64, bool) { return k.events.nextTick() }
 
 // SetDeadline arms a watchdog: if simulated time passes t while events are
 // still pending, Run panics. Use it in tests to convert deadlock or
@@ -110,6 +122,7 @@ func (k *Kernel) dispatchNext() {
 			k.maxTick, k.now, k.live))
 	}
 	k.executed++
+	k.lastTick = e.tick
 	if k.obs != nil {
 		k.obs(e.tick, e.seq)
 	}

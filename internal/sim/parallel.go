@@ -1,0 +1,476 @@
+package sim
+
+// This file implements conservative (quantum-synchronized) parallel
+// discrete-event simulation over a fixed set of logical domains, in the
+// style of parti-gem5: each domain is an independent sequential Kernel,
+// and domains only interact through cross-domain messages that arrive at
+// least `lookahead` ticks after they are sent. That bound makes every
+// event in the window [T, T+lookahead) safe to dispatch without seeing
+// any message produced elsewhere during the same window, so the domains
+// of a quantum can run concurrently and still dispatch the exact event
+// sequence a serial execution of the same model would.
+//
+// Determinism is preserved by construction, not by luck:
+//
+//   - The set of logical domains is fixed by the model, never by the
+//     worker count. Workers are execution lanes; a domain's event stream
+//     is a function of the model alone.
+//   - Cross-domain messages are buffered in per-source outboxes during a
+//     quantum (single-writer: only the goroutine executing the source
+//     domain appends) and merged at the barrier in global
+//     (tick, srcDomain, srcSeq) order. Injection assigns destination
+//     sequence numbers in that canonical order, so same-tick deliveries
+//     at a destination dispatch identically regardless of how many
+//     workers ran the previous quantum.
+//   - Message payloads are four packed uint64 words delivered through a
+//     per-domain slot pool, so steady-state cross-domain traffic
+//     schedules without per-message closures.
+//
+// The coordinator jumps each quantum start to the global minimum pending
+// tick, so long idle gaps (a simulation phase where one domain runs far
+// ahead) cost one barrier, not one barrier per lookahead window.
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// crossMsg is one buffered cross-domain event: a bound callback plus four
+// packed argument words, stamped with its delivery tick and a per-source
+// sequence number that makes the global merge order total.
+type crossMsg struct {
+	tick uint64
+	seq  uint64 // per-source monotone counter
+	src  int32
+	dst  int32
+	fn   func(a0, a1, a2, a3 uint64)
+	a0   uint64
+	a1   uint64
+	a2   uint64
+	a3   uint64
+}
+
+// inboxPool holds injected-but-undelivered cross messages of one
+// destination domain. Slots are recycled through a free list so the
+// steady state allocates nothing; the pool is written by the coordinator
+// (at barriers) and read by the domain's executing goroutine (during
+// quanta), which the fork/join channel handoffs order.
+type inboxPool struct {
+	slots []crossMsg
+	free  []int32
+}
+
+func (ib *inboxPool) put(m crossMsg) uint64 {
+	if n := len(ib.free); n > 0 {
+		i := ib.free[n-1]
+		ib.free = ib.free[:n-1]
+		ib.slots[i] = m
+		return uint64(i)
+	}
+	ib.slots = append(ib.slots, m)
+	return uint64(len(ib.slots) - 1)
+}
+
+// ParallelKernel runs a fixed set of domain kernels under conservative
+// quantum synchronization. Construct with NewParallel, attach model state
+// to the per-domain kernels (Domain), and drive with Run.
+type ParallelKernel struct {
+	doms      []*Kernel
+	lookahead uint64
+	workers   int // requested lanes; clamped to [1, len(doms)] and GOMAXPROCS
+
+	outbox [][]crossMsg // per source domain, filled during a quantum
+	outSeq []uint64     // per source domain message counter
+	inbox  []inboxPool  // per destination domain
+	inbFns []func(uint64)
+
+	merged []crossMsg // barrier scratch, reused
+
+	lanes   [][]int // lane index -> domains it executes
+	laneRun []bool  // per-lane "has work this quantum" scratch
+
+	executedQuanta uint64
+	mergedMsgs     uint64
+}
+
+// NewParallel returns a parallel kernel with the given number of logical
+// domains and the conservative lookahead (minimum cross-domain delivery
+// latency, in ticks). workers requests the number of concurrent
+// execution lanes; it is clamped to [1, domains] and to GOMAXPROCS at
+// Run time, and does not affect the dispatch order of any domain.
+func NewParallel(domains int, lookahead uint64, workers int) *ParallelKernel {
+	if domains <= 0 {
+		panic(fmt.Sprintf("sim: NewParallel with %d domains", domains))
+	}
+	if lookahead == 0 {
+		panic("sim: NewParallel with zero lookahead (no conservative window)")
+	}
+	pk := &ParallelKernel{
+		doms:      make([]*Kernel, domains),
+		lookahead: lookahead,
+		workers:   workers,
+		outbox:    make([][]crossMsg, domains),
+		outSeq:    make([]uint64, domains),
+		inbox:     make([]inboxPool, domains),
+		inbFns:    make([]func(uint64), domains),
+	}
+	for d := range pk.doms {
+		pk.doms[d] = New()
+		d := d
+		pk.inbFns[d] = func(slot uint64) { pk.deliverSlot(d, slot) }
+	}
+	return pk
+}
+
+// Domains reports the number of logical domains.
+func (pk *ParallelKernel) Domains() int { return len(pk.doms) }
+
+// Domain returns the sequential kernel of logical domain d. Model state
+// pinned to a domain must schedule exclusively on its kernel.
+func (pk *ParallelKernel) Domain(d int) *Kernel { return pk.doms[d] }
+
+// Lookahead reports the conservative window width in ticks.
+func (pk *ParallelKernel) Lookahead() uint64 { return pk.lookahead }
+
+// Workers reports the effective lane count Run will use.
+func (pk *ParallelKernel) Workers() int {
+	w := pk.workers
+	if w < 1 {
+		w = 1
+	}
+	if w > len(pk.doms) {
+		w = len(pk.doms)
+	}
+	if mp := runtime.GOMAXPROCS(0); w > mp {
+		w = mp
+	}
+	return w
+}
+
+// deliverSlot dispatches one injected cross message in its destination
+// domain, releasing the slot for reuse.
+func (pk *ParallelKernel) deliverSlot(d int, slot uint64) {
+	ib := &pk.inbox[d]
+	m := ib.slots[slot]
+	ib.slots[slot] = crossMsg{} // release fn reference
+	ib.free = append(ib.free, int32(slot))
+	m.fn(m.a0, m.a1, m.a2, m.a3)
+}
+
+// Post buffers a cross-domain event: fn(a0..a3) will run in domain dst at
+// the absolute tick given. The tick must be at least lookahead past the
+// source domain's clock — that is the conservative contract every
+// cross-domain path (bus hop + serialization) satisfies by construction;
+// violating it would let a quantum observe a message sent within it, so
+// Post panics loudly instead.
+func (pk *ParallelKernel) Post(src, dst int, tick uint64, fn func(a0, a1, a2, a3 uint64), a0, a1, a2, a3 uint64) {
+	k := pk.doms[src]
+	if tick < k.now+pk.lookahead {
+		panic(fmt.Sprintf("sim: cross-domain post from %d to %d at tick %d violates lookahead %d (src now %d)",
+			src, dst, tick, pk.lookahead, k.now))
+	}
+	pk.outSeq[src]++
+	pk.outbox[src] = append(pk.outbox[src], crossMsg{
+		tick: tick, seq: pk.outSeq[src], src: int32(src), dst: int32(dst),
+		fn: fn, a0: a0, a1: a1, a2: a2, a3: a3,
+	})
+}
+
+// minNextTick scans the domains for the earliest pending event.
+func (pk *ParallelKernel) minNextTick() (uint64, bool) {
+	var min uint64
+	found := false
+	for _, k := range pk.doms {
+		if t, ok := k.NextTick(); ok && (!found || t < min) {
+			min = t
+			found = true
+		}
+	}
+	return min, found
+}
+
+// runDomains executes every listed domain that has work before the
+// horizon up to (and including) horizon-1.
+func (pk *ParallelKernel) runDomains(doms []int, horizon uint64) {
+	for _, d := range doms {
+		k := pk.doms[d]
+		if t, ok := k.NextTick(); ok && t < horizon {
+			k.RunUntil(horizon - 1)
+		}
+	}
+}
+
+// mergeOutboxes drains every source outbox, sorts the union by
+// (tick, srcDomain, srcSeq), and injects each message into its
+// destination kernel. Injection order fixes the destination sequence
+// numbers, so the canonical sort makes same-tick cross deliveries
+// dispatch identically for every worker count.
+func (pk *ParallelKernel) mergeOutboxes() {
+	m := pk.merged[:0]
+	for src := range pk.outbox {
+		m = append(m, pk.outbox[src]...)
+		pk.outbox[src] = pk.outbox[src][:0]
+	}
+	if len(m) == 0 {
+		pk.merged = m
+		return
+	}
+	// Insertion sort: merges are small (a handful of messages per
+	// barrier) and this keeps the barrier allocation-free.
+	for i := 1; i < len(m); i++ {
+		e := m[i]
+		j := i - 1
+		for j >= 0 && crossLess(&e, &m[j]) {
+			m[j+1] = m[j]
+			j--
+		}
+		m[j+1] = e
+	}
+	for i := range m {
+		msg := &m[i]
+		slot := pk.inbox[msg.dst].put(*msg)
+		pk.doms[msg.dst].AtFunc(msg.tick, pk.inbFns[msg.dst], slot)
+		m[i] = crossMsg{} // release fn reference
+	}
+	pk.mergedMsgs += uint64(len(m))
+	pk.merged = m[:0]
+}
+
+func crossLess(a, b *crossMsg) bool {
+	if a.tick != b.tick {
+		return a.tick < b.tick
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// laneWorker is one persistent execution lane: it parks on req, runs its
+// domains to the received horizon, and reports any recovered panic.
+type laneWorker struct {
+	req  chan uint64
+	resp chan any
+}
+
+func (pk *ParallelKernel) laneLoop(w *laneWorker, doms []int) {
+	for horizon := range w.req {
+		var pv any
+		func() {
+			defer func() { pv = recover() }()
+			pk.runDomains(doms, horizon)
+		}()
+		w.resp <- pv
+	}
+}
+
+// Run drives every domain to completion under conservative quantum
+// synchronization. Each iteration jumps to the global minimum pending
+// tick T, runs all domains with work in [T, T+lookahead) — concurrently
+// across lanes — then merges cross-domain messages at the barrier. Run
+// returns when no domain has pending events and no messages are in
+// flight; domain clocks are then normalized to the last dispatched tick
+// so per-domain time integrals (line occupancy) cover a common window.
+//
+// A panic inside any domain (watchdog deadline, model invariant) is
+// re-raised on the calling goroutine after all lanes have parked.
+func (pk *ParallelKernel) Run() {
+	nd := len(pk.doms)
+	w := pk.Workers()
+
+	// Static domain -> lane assignment: round-robin spreads the heavy
+	// neighbouring domains (cores of one workload region) across lanes.
+	pk.lanes = make([][]int, w)
+	for d := 0; d < nd; d++ {
+		pk.lanes[d%w] = append(pk.lanes[d%w], d)
+	}
+	pk.laneRun = make([]bool, w)
+
+	// Lane 0 runs inline on the coordinator goroutine; lanes 1..w-1 get
+	// persistent parked workers. Quanta where only one lane has work —
+	// common during serial phases — then cost no channel handoffs at all.
+	workers := make([]*laneWorker, w)
+	for i := 1; i < w; i++ {
+		lw := &laneWorker{req: make(chan uint64), resp: make(chan any, 1)}
+		workers[i] = lw
+		go pk.laneLoop(lw, pk.lanes[i])
+	}
+	defer func() {
+		for i := 1; i < w; i++ {
+			close(workers[i].req)
+		}
+	}()
+
+	for {
+		start, ok := pk.minNextTick()
+		if !ok {
+			break
+		}
+		horizon := start + pk.lookahead
+		pk.executedQuanta++
+
+		// Mark lanes with work this quantum.
+		inlineOnly := true
+		for i := range pk.laneRun {
+			pk.laneRun[i] = false
+		}
+		for d := 0; d < nd; d++ {
+			if t, ok := pk.doms[d].NextTick(); ok && t < horizon {
+				lane := d % w
+				pk.laneRun[lane] = true
+				if lane != 0 {
+					inlineOnly = false
+				}
+			}
+		}
+
+		var firstPanic any
+		if inlineOnly {
+			pk.runDomains(pk.lanes[0], horizon)
+		} else {
+			for i := 1; i < w; i++ {
+				if pk.laneRun[i] {
+					workers[i].req <- horizon
+				}
+			}
+			if pk.laneRun[0] {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							firstPanic = r
+						}
+					}()
+					pk.runDomains(pk.lanes[0], horizon)
+				}()
+			}
+			for i := 1; i < w; i++ {
+				if pk.laneRun[i] {
+					if pv := <-workers[i].resp; pv != nil && firstPanic == nil {
+						firstPanic = pv
+					}
+				}
+			}
+		}
+		if firstPanic != nil {
+			panic(firstPanic)
+		}
+
+		pk.mergeOutboxes()
+	}
+
+	// Normalize domain clocks so cross-domain time integrals share one
+	// end-of-run instant. Queues are empty, so RunUntil only moves now.
+	end := pk.LastEventTick()
+	for _, k := range pk.doms {
+		if k.Now() < end {
+			k.RunUntil(end)
+		}
+	}
+}
+
+// LastEventTick reports the latest tick at which any domain dispatched an
+// event — the parallel run's end-to-end execution time.
+func (pk *ParallelKernel) LastEventTick() uint64 {
+	var max uint64
+	for _, k := range pk.doms {
+		if t := k.LastEventTick(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Executed sums dispatched events over all domains.
+func (pk *ParallelKernel) Executed() uint64 {
+	var n uint64
+	for _, k := range pk.doms {
+		n += k.Executed()
+	}
+	return n
+}
+
+// LiveProcs sums unfinished processes over all domains.
+func (pk *ParallelKernel) LiveProcs() int {
+	n := 0
+	for _, k := range pk.doms {
+		n += k.LiveProcs()
+	}
+	return n
+}
+
+// Quanta reports how many synchronization windows Run executed
+// (diagnostics: barrier-rate tuning).
+func (pk *ParallelKernel) Quanta() uint64 { return pk.executedQuanta }
+
+// CrossMessages reports how many cross-domain messages were merged.
+func (pk *ParallelKernel) CrossMessages() uint64 { return pk.mergedMsgs }
+
+// SetDeadline arms the watchdog on every domain kernel.
+func (pk *ParallelKernel) SetDeadline(t uint64) {
+	for _, k := range pk.doms {
+		k.SetDeadline(t)
+	}
+}
+
+// Drain releases parked processes in every domain (abandoned runs).
+func (pk *ParallelKernel) Drain() {
+	for _, k := range pk.doms {
+		k.Drain()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Dispatch-trace hashing.
+// ---------------------------------------------------------------------
+
+// TraceOffset is the FNV-1a offset basis trace hashes start from.
+const TraceOffset uint64 = 14695981039346656037
+
+// TraceFold folds one (tick, seq) pair into an FNV-1a style hash without
+// allocating — the same byte-wise fold the golden-trace tests use.
+func TraceFold(h, tick, seq uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h = (h ^ (tick >> (8 * i) & 0xff)) * prime
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ (seq >> (8 * i) & 0xff)) * prime
+	}
+	return h
+}
+
+// ParallelTrace accumulates one dispatch-trace hash per domain. Each
+// domain's observer writes only its own slot, so tracing is safe under
+// concurrent lane execution; Sum folds the per-domain streams in domain
+// order into one run hash that is invariant across worker counts.
+type ParallelTrace struct {
+	h []uint64
+}
+
+// InstallTrace attaches dispatch observers to every domain kernel and
+// returns the accumulating trace. Call before Run.
+func (pk *ParallelKernel) InstallTrace() *ParallelTrace {
+	t := &ParallelTrace{h: make([]uint64, len(pk.doms))}
+	for d := range pk.doms {
+		d := d
+		t.h[d] = TraceOffset
+		pk.doms[d].SetDispatchObserver(func(tick, seq uint64) {
+			t.h[d] = TraceFold(t.h[d], tick, seq)
+		})
+	}
+	return t
+}
+
+// DomainHash reports the accumulated hash of one domain's dispatch
+// stream.
+func (t *ParallelTrace) DomainHash(d int) uint64 { return t.h[d] }
+
+// Sum folds the per-domain hashes, tagged with their domain index, into
+// one run hash.
+func (t *ParallelTrace) Sum() uint64 {
+	h := TraceOffset
+	for d, dh := range t.h {
+		h = TraceFold(h, uint64(d), dh)
+	}
+	return h
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// pingDomain is one domain of the synthetic cross-traffic model the
+// parallel-kernel tests share: a ring of domains, each sending a paced
+// stream of messages to its successor and waiting until it has received
+// the full stream from its predecessor. Message payloads are checksummed
+// so misrouted or duplicated deliveries fail loudly.
+type pingDomain struct {
+	pk        *ParallelKernel
+	id        int
+	sig       *Signal
+	got       uint64
+	sum       uint64
+	deliverFn func(a0, a1, a2, a3 uint64)
+}
+
+const pingLookahead = 13
+
+func buildPingRing(domains, rounds, workers int) (*ParallelKernel, []*pingDomain) {
+	pk := NewParallel(domains, pingLookahead, workers)
+	ds := make([]*pingDomain, domains)
+	for d := 0; d < domains; d++ {
+		pd := &pingDomain{pk: pk, id: d, sig: NewSignal("ring.got")}
+		pd.deliverFn = func(a0, a1, a2, a3 uint64) {
+			pd.got++
+			pd.sum += a0 ^ a1<<1 ^ a2<<2 ^ a3<<3
+			pd.sig.Fire()
+		}
+		ds[d] = pd
+	}
+	for d := 0; d < domains; d++ {
+		d := d
+		pd := ds[d]
+		next := (d + 1) % domains
+		pk.Domain(d).Go("ring", func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				p.Sleep(uint64(1 + (d+i)%7))
+				// Arrival models a bus trip: at least the lookahead,
+				// sometimes more (contended channel).
+				delay := uint64(pingLookahead + i%5)
+				pk.Post(d, next, p.Now()+delay, ds[next].deliverFn,
+					uint64(d), uint64(i), uint64(d*i), 42)
+			}
+			WaitUntil(p, pd.sig, func() bool { return pd.got == uint64(rounds) })
+		})
+	}
+	return pk, ds
+}
+
+// TestParallelDeterministicAcrossWorkers proves the central contract:
+// the dispatch trace of every domain — and therefore the combined run
+// hash, the delivery checksums, and the end-to-end tick — is bit
+// identical whether the quanta execute on 1, 2, 4, or 8 lanes.
+func TestParallelDeterministicAcrossWorkers(t *testing.T) {
+	const domains, rounds = 9, 200
+	type outcome struct {
+		hash, end, executed uint64
+		sums                []uint64
+	}
+	run := func(workers int) outcome {
+		pk, ds := buildPingRing(domains, rounds, workers)
+		tr := pk.InstallTrace()
+		pk.SetDeadline(1 << 30)
+		pk.Run()
+		if live := pk.LiveProcs(); live != 0 {
+			t.Fatalf("workers=%d: %d procs still live", workers, live)
+		}
+		o := outcome{hash: tr.Sum(), end: pk.LastEventTick(), executed: pk.Executed()}
+		for _, pd := range ds {
+			if pd.got != rounds {
+				t.Fatalf("workers=%d: domain %d got %d/%d messages", workers, pd.id, pd.got, rounds)
+			}
+			o.sums = append(o.sums, pd.sum)
+		}
+		return o
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 8} {
+		o := run(w)
+		if o.hash != base.hash {
+			t.Errorf("workers=%d: trace hash %#x != workers=1 hash %#x", w, o.hash, base.hash)
+		}
+		if o.end != base.end || o.executed != base.executed {
+			t.Errorf("workers=%d: (end, executed) = (%d, %d), want (%d, %d)",
+				w, o.end, o.executed, base.end, base.executed)
+		}
+		for d := range o.sums {
+			if o.sums[d] != base.sums[d] {
+				t.Errorf("workers=%d: domain %d checksum %#x != %#x", w, d, o.sums[d], base.sums[d])
+			}
+		}
+	}
+}
+
+// TestParallelSignalChurn drives per-domain producer/consumer Signal
+// ping-pong (the vlq wait/fire pattern) inside every domain while cross
+// traffic flows between domains, on multiple lanes. Run under -race this
+// proves domain state — procs, signals, waiter lists, wake tokens — is
+// never touched by two lanes without a happens-before edge.
+func TestParallelSignalChurn(t *testing.T) {
+	const domains, rounds = 8, 150
+	pk, _ := buildPingRing(domains, rounds, 4)
+	for d := 0; d < domains; d++ {
+		k := pk.Domain(d)
+		ping := NewSignal("churn.ping")
+		pong := NewSignal("churn.pong")
+		k.Go("consumer", func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				ping.Wait(p)
+				pong.Fire()
+			}
+		})
+		k.Go("producer", func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				p.Sleep(2)
+				ping.Fire()
+				pong.Wait(p)
+			}
+		})
+	}
+	pk.SetDeadline(1 << 30)
+	pk.Run()
+	if live := pk.LiveProcs(); live != 0 {
+		t.Fatalf("%d procs still live", live)
+	}
+}
+
+// TestParallelPostLookaheadViolationPanics proves the conservative
+// contract is enforced, not assumed: a cross-domain post closer than the
+// lookahead must panic immediately.
+func TestParallelPostLookaheadViolationPanics(t *testing.T) {
+	pk := NewParallel(2, 10, 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Post below lookahead did not panic")
+		}
+		if !strings.Contains(r.(string), "lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	pk.Post(0, 1, 5, func(a0, a1, a2, a3 uint64) {}, 0, 0, 0, 0)
+}
+
+// TestParallelWatchdogPropagates proves a watchdog panic inside a worker
+// lane (not the coordinator's inline lane) is re-raised on the Run
+// caller after all lanes have parked.
+func TestParallelWatchdogPropagates(t *testing.T) {
+	pk := NewParallel(2, 4, 2)
+	// Domain 1 runs on lane 1 (a worker goroutine) and livelocks.
+	var spin func(uint64)
+	spin = func(uint64) { pk.Domain(1).AfterFunc(1, spin, 0) }
+	pk.Domain(1).AtFunc(0, spin, 0)
+	pk.Domain(1).SetDeadline(100)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("watchdog panic did not propagate from worker lane")
+		}
+		pk.Drain()
+	}()
+	pk.Run()
+}
+
+// TestParallelIdleGapJump proves the coordinator jumps over idle gaps:
+// two events a million ticks apart must cost ~2 quanta, not 1e6/lookahead.
+func TestParallelIdleGapJump(t *testing.T) {
+	pk := NewParallel(2, 13, 1)
+	ran := 0
+	pk.Domain(0).At(5, func() { ran++ })
+	pk.Domain(1).At(1_000_000, func() { ran++ })
+	pk.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if q := pk.Quanta(); q > 4 {
+		t.Fatalf("executed %d quanta for 2 events across an idle gap, want <= 4", q)
+	}
+	if got := pk.LastEventTick(); got != 1_000_000 {
+		t.Fatalf("LastEventTick = %d, want 1000000", got)
+	}
+}
+
+// TestParallelMergeOrderCanonical proves the barrier merge injects
+// same-tick messages in (srcDomain, srcSeq) order regardless of outbox
+// drain order: three sources post to one destination at one tick, and
+// the destination must observe src 0, 1, 2.
+func TestParallelMergeOrderCanonical(t *testing.T) {
+	pk := NewParallel(4, 5, 1)
+	var order []uint64
+	recv := func(a0, a1, a2, a3 uint64) { order = append(order, a0) }
+	for _, src := range []int{2, 0, 1} {
+		src := src
+		pk.Domain(src).At(1, func() {
+			pk.Post(src, 3, 20, recv, uint64(src), 0, 0, 0)
+		})
+	}
+	pk.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("delivery order %v, want [0 1 2]", order)
+	}
+}

@@ -1,0 +1,149 @@
+package vl
+
+import (
+	"fmt"
+
+	"spamer/internal/mem"
+)
+
+// PostFunc posts a cross-domain event into the parallel kernel: fn(a0..a3)
+// runs in domain dst at the given absolute tick (which must satisfy the
+// conservative lookahead relative to domain src's clock). It matches
+// sim.ParallelKernel.Post.
+type PostFunc func(src, dst int, tick uint64, fn func(a0, a1, a2, a3 uint64), a0, a1, a2, a3 uint64)
+
+// Hub operation kinds, packed into the high byte of a0.
+const (
+	hubOpPush uint64 = iota
+	hubOpFetch
+	hubOpRegister
+)
+
+// seqMask extracts the 48-bit message sequence from a packed word; the
+// top 16 bits carry the producer endpoint id.
+const seqMask = 1<<48 - 1
+
+// packOp packs a hub operation header: kind, issuing domain, issuing
+// sender id, and the SQI. The layout is private to this file; remote
+// issuers use the typed Pack helpers so the encoding cannot drift from
+// Exec's decoder.
+func packOp(kind uint64, srcDomain, sender int, sqi SQI) uint64 {
+	return kind<<56 | uint64(uint16(srcDomain))<<40 | (uint64(sender)&0xffffff)<<16 | uint64(uint16(sqi))
+}
+
+// PackPushOp packs the header of a remote vl_push; pair with
+// PackPushPayload in a1 and the payload word in a2.
+func PackPushOp(srcDomain, sender int, sqi SQI) uint64 {
+	return packOp(hubOpPush, srcDomain, sender, sqi)
+}
+
+// PackPushPayload packs a message's producer id and sequence into a1.
+func PackPushPayload(msg mem.Message) uint64 {
+	return uint64(uint16(msg.Src))<<48 | msg.Seq&seqMask
+}
+
+// PackFetchOp packs the header of a remote vl_fetch; the target address
+// travels in a1.
+func PackFetchOp(srcDomain, sender int, sqi SQI) uint64 {
+	return packOp(hubOpFetch, srcDomain, sender, sqi)
+}
+
+// PackRegisterOp packs the header of a remote spamer_register; base rides
+// in a1 and the line count in a2.
+func PackRegisterOp(srcDomain int, sqi SQI) uint64 {
+	return packOp(hubOpRegister, srcDomain, 0, sqi)
+}
+
+// Hub executes remotely-issued device operations inside the device's own
+// simulation domain and returns acceptance responses to the issuing
+// domain. It is the hub-domain half of the cross-domain ISA: a RemoteISA
+// posts packed operations at their bus-arrival tick with Exec as the
+// callback; Exec runs the device write exactly as a same-domain arrival
+// would, then posts the accept/NACK outcome back so the issuing core's
+// store buffer can retire or replay.
+type Hub struct {
+	dev       *Device
+	domain    int
+	lookahead uint64
+	post      PostFunc
+
+	// resp[srcDomain] dispatches responses inside the issuing domain
+	// (bound once by each RemoteISA via Bind).
+	resp []func(a0, a1, a2, a3 uint64)
+
+	execFn      func(a0, a1, a2, a3 uint64)
+	stashRespFn func(a0, a1, a2, a3 uint64)
+}
+
+// NewHub wraps a device for cross-domain execution. domain is the
+// device's own domain index; lookahead is the conservative window of the
+// parallel kernel (responses are posted exactly that far ahead —
+// acceptance signals ride the response network without occupying a bus
+// channel, mirroring how the same-domain model treats acceptance as
+// implicit at arrival).
+func NewHub(dev *Device, domain int, lookahead uint64, post PostFunc) *Hub {
+	h := &Hub{dev: dev, domain: domain, lookahead: lookahead, post: post}
+	h.execFn = h.Exec
+	h.stashRespFn = func(a0, a1, a2, a3 uint64) {
+		h.dev.StashResponse(int(a0>>1), a0&1 != 0)
+	}
+	return h
+}
+
+// Device returns the wrapped routing device.
+func (h *Hub) Device() *Device { return h.dev }
+
+// Domain reports the device's domain index.
+func (h *Hub) Domain() int { return h.domain }
+
+// Bind registers the response dispatcher of an issuing domain. Must be
+// called at construction time, before any traffic flows.
+func (h *Hub) Bind(srcDomain int, fn func(a0, a1, a2, a3 uint64)) {
+	for srcDomain >= len(h.resp) {
+		h.resp = append(h.resp, nil)
+	}
+	h.resp[srcDomain] = fn
+}
+
+// ExecFn returns the bound Exec callback (a stable func value, so posting
+// operations allocates nothing per packet).
+func (h *Hub) ExecFn() func(a0, a1, a2, a3 uint64) { return h.execFn }
+
+// StashResponseFn returns the bound stash-response callback: a0 carries
+// prodBuf index << 1 | hit. Consumer domains post it back at their
+// PktResp arrival tick after attempting a routed stash fill.
+func (h *Hub) StashResponseFn() func(a0, a1, a2, a3 uint64) { return h.stashRespFn }
+
+// Exec decodes and runs one remotely-issued operation at its arrival
+// tick. Push and fetch produce an accept/NACK response to the issuing
+// domain; register is fire-and-forget (its failures are configuration
+// errors and panic here, in the device's domain, like a same-domain
+// register would).
+func (h *Hub) Exec(a0, a1, a2, a3 uint64) {
+	kind := a0 >> 56
+	src := int(a0 >> 40 & 0xffff)
+	sender := a0 >> 16 & 0xffffff
+	sqi := SQI(a0 & 0xffff)
+	switch kind {
+	case hubOpPush:
+		ok := h.dev.Push(sqi, mem.Message{Src: int(a1 >> 48), Seq: a1 & seqMask, Payload: a2})
+		h.respond(src, sender, ok)
+	case hubOpFetch:
+		ok := h.dev.Fetch(sqi, mem.Addr(a1))
+		h.respond(src, sender, ok)
+	case hubOpRegister:
+		if err := h.dev.Register(sqi, mem.Addr(a1), int(a2)); err != nil {
+			panic(err)
+		}
+	default:
+		panic(fmt.Sprintf("vl: hub op kind %d", kind))
+	}
+}
+
+func (h *Hub) respond(src int, sender uint64, ok bool) {
+	var bit uint64
+	if ok {
+		bit = 1
+	}
+	h.post(h.domain, src, h.dev.k.Now()+h.lookahead, h.resp[src], sender<<1|bit, 0, 0, 0)
+}

@@ -24,6 +24,7 @@ package vlq
 
 import (
 	"fmt"
+	"sync"
 
 	"spamer/internal/config"
 	"spamer/internal/isa"
@@ -52,7 +53,7 @@ type Lib struct {
 	k   *sim.Kernel
 	as  *mem.AddressSpace
 	dev *vl.Device
-	isa *isa.ISA
+	isa isa.Ops
 
 	// Inlined selects macro-inlined queue functions (§3.4). The harness
 	// enables it for both VL and SPAMeR runs "to show the benefits
@@ -63,12 +64,28 @@ type Lib struct {
 	// are unlimited.
 	Limits Limits
 
+	// Binder, when set, resolves the library instance local to the
+	// calling process's simulation domain. Queues of a multi-domain
+	// system are created on a hub-side home library; their endpoints
+	// lazily bind to the per-domain library of the thread that uses them
+	// (a producer on first Push, a consumer at creation), so every
+	// endpoint's pages, senders, and clock live in the domain that
+	// executes it. A set Binder also restricts queues to one producer
+	// and one consumer — the shapes whose endpoint state is provably
+	// domain-confined.
+	Binder func(p *sim.Proc) *Lib
+
+	// mu guards endpoint registration: under a Binder, threads of
+	// different domains may subscribe endpoints to the same queue
+	// concurrently. Steady-state queue operations never take it.
+	mu sync.Mutex
+
 	specLines int
 	queues    []*Queue
 }
 
 // New returns a library instance over the given device.
-func New(k *sim.Kernel, as *mem.AddressSpace, dev *vl.Device, i *isa.ISA) *Lib {
+func New(k *sim.Kernel, as *mem.AddressSpace, dev *vl.Device, i isa.Ops) *Lib {
 	return &Lib{k: k, as: as, dev: dev, isa: i}
 }
 
@@ -89,8 +106,6 @@ type Queue struct {
 	producers []*Producer
 	consumers []*Consumer
 
-	pushed uint64
-	popped uint64
 	closed bool
 }
 
@@ -119,11 +134,27 @@ func (q *Queue) SQI() vl.SQI { return q.sqi }
 // Name returns the queue's diagnostic name.
 func (q *Queue) Name() string { return q.name }
 
-// Pushed reports messages accepted from producers so far.
-func (q *Queue) Pushed() uint64 { return q.pushed }
+// Pushed reports messages submitted by producers so far. The count is
+// summed over endpoints — each endpoint counts in its own domain — so it
+// is exact whenever the simulation is quiescent (setup, collection, or
+// any point of a sequential run).
+func (q *Queue) Pushed() uint64 {
+	var n uint64
+	for _, pr := range q.producers {
+		n += pr.seq
+	}
+	return n
+}
 
-// Popped reports messages delivered to consumers so far.
-func (q *Queue) Popped() uint64 { return q.popped }
+// Popped reports messages delivered to consumers so far (summed over
+// endpoints; see Pushed).
+func (q *Queue) Popped() uint64 {
+	var n uint64
+	for _, c := range q.consumers {
+		n += c.popped
+	}
+	return n
+}
 
 // Consumers returns the queue's consumer endpoints.
 func (q *Queue) Consumers() []*Consumer { return q.consumers }
@@ -137,8 +168,8 @@ func (q *Queue) Close() error {
 	if q.closed {
 		return fmt.Errorf("vlq: %s already closed", q.name)
 	}
-	if q.pushed != q.popped {
-		return fmt.Errorf("vlq: %s not drained (%d pushed, %d popped)", q.name, q.pushed, q.popped)
+	if pushed, popped := q.Pushed(), q.Popped(); pushed != popped {
+		return fmt.Errorf("vlq: %s not drained (%d pushed, %d popped)", q.name, pushed, popped)
 	}
 	if err := q.lib.dev.FreeSQI(q.sqi); err != nil {
 		return err
@@ -166,13 +197,14 @@ const DefaultWindow = 4
 // Producer is a producer endpoint: a page of lines pushed to one SQI.
 type Producer struct {
 	q      *Queue
+	lib    *Lib // bound on first Push (the pushing thread's domain)
 	id     int
 	window int
 
 	outstanding int
 	credit      *sim.Signal
 	seq         uint64
-	snd         *isa.Sender
+	snd         isa.Port
 
 	// OnAccept, if non-nil, observes every vl_push of this endpoint the
 	// routing device accepts (tick, message sequence). Used by the
@@ -186,15 +218,36 @@ func (q *Queue) NewProducer(window int) *Producer {
 	if window <= 0 {
 		window = DefaultWindow
 	}
+	lib := q.lib
+	lib.mu.Lock()
+	defer lib.mu.Unlock()
+	if lib.Binder != nil && len(q.producers) > 0 {
+		panic(fmt.Sprintf("vlq: second producer on %s — domain-partitioned systems support 1:1 queues only", q.name))
+	}
 	p := &Producer{
 		q:      q,
 		id:     len(q.producers),
 		window: window,
 		credit: sim.NewSignal(fmt.Sprintf("%s.prod%d.credit", q.name, len(q.producers))),
-		snd:    q.lib.isa.NewPushSender(),
 	}
 	q.producers = append(q.producers, p)
 	return p
+}
+
+// bind resolves the endpoint's domain-local library on first use and
+// creates its ordered sender there. Sequential systems (no Binder) bind
+// to the queue's own library; the deferral is free either way because
+// sender creation schedules nothing.
+func (pr *Producer) bind(p *sim.Proc) *Lib {
+	if pr.lib == nil {
+		lib := pr.q.lib
+		if lib.Binder != nil {
+			lib = lib.Binder(p)
+		}
+		pr.lib = lib
+		pr.snd = lib.isa.NewPushPort()
+	}
+	return pr.lib
 }
 
 // ID returns the endpoint's index within its queue.
@@ -211,19 +264,18 @@ func (pr *Producer) Push(p *sim.Proc, payload uint64) {
 	if pr.q.closed {
 		panic("vlq: Push on closed queue " + pr.q.name)
 	}
-	lib := pr.q.lib
+	lib := pr.bind(p)
 	p.Sleep(lib.overhead())
 	sim.WaitUntil(p, pr.credit, func() bool { return pr.outstanding < pr.window })
 	pr.outstanding++
 	msg := mem.Message{Src: pr.id, Seq: pr.seq, Payload: payload}
 	pr.seq++
-	pr.q.pushed++
 	lib.isa.Select(p)
 	lib.isa.Push(p, pr.snd, pr.q.sqi, msg, func() {
 		pr.outstanding--
 		pr.credit.Fire()
 		if pr.OnAccept != nil {
-			pr.OnAccept(pr.q.lib.k.Now(), msg.Seq)
+			pr.OnAccept(pr.lib.k.Now(), msg.Seq)
 		}
 	})
 }
@@ -236,13 +288,15 @@ func (pr *Producer) Push(p *sim.Proc, payload uint64) {
 // popped in round-robin order (the library "would use the cachelines of
 // an endpoint in a round-robin fashion", §3.5).
 type Consumer struct {
-	q     *Queue
-	id    int
-	page  *mem.Page
-	next  int
-	spec  bool
-	polls uint64
-	snd   *isa.Sender
+	q      *Queue
+	lib    *Lib // bound at creation (the creating thread's domain)
+	id     int
+	page   *mem.Page
+	next   int
+	spec   bool
+	polls  uint64
+	popped uint64
+	snd    isa.Port
 
 	// OnFetch, if non-nil, observes every vl_fetch issued by this
 	// endpoint (tick, target line index). Used by the Figure 7 tracer.
@@ -271,15 +325,26 @@ func (q *Queue) NewConsumer(p *sim.Proc, nlines int, spec bool) *Consumer {
 	if nlines <= 0 {
 		nlines = 1
 	}
-	lib := q.lib
+	home := q.lib
+	lib := home
+	if home.Binder != nil {
+		lib = home.Binder(p)
+	}
+	home.mu.Lock()
+	if home.Binder != nil && len(q.consumers) > 0 {
+		home.mu.Unlock()
+		panic(fmt.Sprintf("vlq: second consumer on %s — domain-partitioned systems support 1:1 queues only", q.name))
+	}
 	c := &Consumer{
 		q:    q,
+		lib:  lib,
 		id:   len(q.consumers),
 		page: lib.as.NewPage(nlines),
 		spec: spec,
-		snd:  lib.isa.NewFetchSender(),
+		snd:  lib.isa.NewFetchPort(),
 	}
 	q.consumers = append(q.consumers, c)
+	home.mu.Unlock()
 	if spec {
 		if lib.Limits.MaxSpecLines > 0 && lib.specLines+nlines > lib.Limits.MaxSpecLines {
 			// §3.6 resource cap: the endpoint degrades to demand-driven
@@ -315,7 +380,7 @@ func (c *Consumer) totalFills() uint64 {
 // postFetchNext issues the next request of the endpoint's round-robin
 // request stream.
 func (c *Consumer) postFetchNext(p *sim.Proc) {
-	lib := c.q.lib
+	lib := c.lib
 	i := int(c.postedCount) % len(c.page.Lines)
 	lib.isa.Select(p)
 	lib.isa.Fetch(p, c.snd, c.q.sqi, c.page.Lines[i].Addr)
@@ -340,7 +405,7 @@ func (c *Consumer) Prefetch(p *sim.Proc) {
 	if c.spec {
 		return
 	}
-	p.Sleep(c.q.lib.overhead())
+	p.Sleep(c.lib.overhead())
 	if c.postedCount-c.totalFills() < uint64(len(c.page.Lines)) {
 		c.postFetchNext(p)
 	}
@@ -355,7 +420,7 @@ func (c *Consumer) Prefetch(p *sim.Proc) {
 // Spec-enabled endpoints skip the request entirely; the routing device
 // is expected to push speculatively.
 func (c *Consumer) Pop(p *sim.Proc) mem.Message {
-	lib := c.q.lib
+	lib := c.lib
 	p.Sleep(lib.overhead())
 	k := c.popsStarted
 	c.popsStarted++
@@ -401,7 +466,7 @@ func (c *Consumer) Pop(p *sim.Proc) mem.Message {
 	}
 	line.NoteFirstUse(line.Msg)
 	msg := line.Take()
-	c.q.popped++
+	c.popped++
 	return msg
 }
 
@@ -414,7 +479,7 @@ func (c *Consumer) Pop(p *sim.Proc) mem.Message {
 // endpoint may stay parked at the routing device; that is harmless once
 // no producer data remains.
 func (c *Consumer) PopOrDone(p *sim.Proc, done *sim.Signal, isDone func() bool) (mem.Message, bool) {
-	lib := c.q.lib
+	lib := c.lib
 	p.Sleep(lib.overhead())
 	k := c.popsStarted
 	idx := int(k) % len(c.page.Lines)
@@ -441,7 +506,7 @@ func (c *Consumer) PopOrDone(p *sim.Proc, done *sim.Signal, isDone func() bool) 
 	p.Sleep(config.L1HitCycles)
 	line.NoteFirstUse(line.Msg)
 	msg := line.Take()
-	c.q.popped++
+	c.popped++
 	return msg, true
 }
 
@@ -449,7 +514,7 @@ func (c *Consumer) PopOrDone(p *sim.Proc, done *sim.Signal, isDone func() bool) 
 // next line, charging the library overhead either way. It never issues a
 // request and never blocks. Used by polling-style consumers.
 func (c *Consumer) TryPop(p *sim.Proc) (mem.Message, bool) {
-	lib := c.q.lib
+	lib := c.lib
 	p.Sleep(lib.overhead())
 	line := c.page.Lines[int(c.popsStarted)%len(c.page.Lines)]
 	if line.State != mem.LineValid {
@@ -460,7 +525,7 @@ func (c *Consumer) TryPop(p *sim.Proc) (mem.Message, bool) {
 	p.Sleep(config.L1HitCycles)
 	line.NoteFirstUse(line.Msg)
 	msg := line.Take()
-	c.q.popped++
+	c.popped++
 	return msg, true
 }
 

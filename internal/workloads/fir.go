@@ -40,8 +40,9 @@ func init() {
 		Name:      "FIR",
 		Desc:      "data streams through 10-stage FIR filter",
 		QueueSpec: "(1:1)x9",
-		Threads:   firStages,
-		Build:     buildFIR,
+		Threads:      firStages,
+		Build:        buildFIR,
+		ParallelSafe: true,
 	})
 }
 

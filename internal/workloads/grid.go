@@ -66,15 +66,17 @@ func init() {
 		Name:      "halo",
 		Desc:      "exchange data with neighboring threads",
 		QueueSpec: "(1:1)x48",
-		Threads:   gridW * gridH,
-		Build:     buildHalo,
+		Threads:      gridW * gridH,
+		Build:        buildHalo,
+		ParallelSafe: true,
 	})
 	register(&Workload{
 		Name:      "sweep",
 		Desc:      "data sweeps through a grid of threads corner to corner",
 		QueueSpec: "(1:1)x48",
-		Threads:   gridW * gridH,
-		Build:     buildSweep,
+		Threads:      gridW * gridH,
+		Build:        buildSweep,
+		ParallelSafe: true,
 	})
 }
 

@@ -21,8 +21,9 @@ func init() {
 		Name:      "ping-pong",
 		Desc:      "data back and forth between two threads",
 		QueueSpec: "(1:1)x2",
-		Threads:   2,
-		Build:     buildPingPong,
+		Threads:      2,
+		Build:        buildPingPong,
+		ParallelSafe: true,
 	})
 }
 

@@ -1,0 +1,246 @@
+package spamer
+
+// This file assembles the multi-domain (parallel) system fabric behind
+// Config.Domains: every simulated core is its own conservative simulation
+// domain, and every routing device gets a hub domain holding the device,
+// its specBuf, and the shared interconnect slice. The `Domains` knob only
+// selects how many worker lanes execute those logical domains — the
+// partitioning itself is fixed by the model — so the dispatch trace of a
+// run is bit-identical for every Domains >= 1. See docs/SIMULATOR.md,
+// "Parallel kernel".
+
+import (
+	"spamer/internal/config"
+	"spamer/internal/core"
+	"spamer/internal/isa"
+	"spamer/internal/mem"
+	"spamer/internal/noc"
+	"spamer/internal/sim"
+	"spamer/internal/vl"
+	"spamer/internal/vlq"
+)
+
+// domainAddrShift positions each domain's address space at a distinct
+// base, (domain+1)<<40, so a line address identifies its owning domain —
+// the routing fabric needs that to carry a stash to the right kernel.
+const domainAddrShift = 40
+
+// fabric is the parallel-mode wiring of a System: the domain kernels,
+// their per-domain bus slices and address spaces, and the hub adapters
+// that carry device traffic across domain boundaries.
+type fabric struct {
+	pk     *sim.ParallelKernel
+	ncores int // core domains [0, ncores); hubs follow
+	buses  []*noc.Bus
+	spaces []*mem.AddressSpace
+	hubs   []*vl.Hub
+	domOf  map[*sim.Kernel]int
+	trace  *sim.ParallelTrace
+}
+
+// domainOfAddr recovers the owning domain of a line address.
+func domainOfAddr(a mem.Addr) int { return int(uint64(a)>>domainAddrShift) - 1 }
+
+// newParallelSystem builds the multi-domain system: ncores core domains
+// plus one hub domain per routing device, synchronized on the minimum
+// cross-domain latency (one bus hop plus the smallest packet
+// serialization — derived from config, never hardcoded).
+func newParallelSystem(cfg Config, hop uint64, ndev int) *System {
+	ncores := config.NumCores
+	ndom := ncores + ndev
+	lookahead := hop + noc.MinOccupancy()
+	pk := sim.NewParallel(ndom, lookahead, cfg.Domains)
+	pk.SetDeadline(cfg.Deadline)
+
+	fab := &fabric{pk: pk, ncores: ncores, domOf: make(map[*sim.Kernel]int, ndom)}
+	s := &System{cfg: cfg, fab: fab}
+	for d := 0; d < ndom; d++ {
+		k := pk.Domain(d)
+		fab.domOf[k] = d
+		// Core domains get a single-channel slice of the interconnect
+		// (one core's ingress/egress link); hub domains carry the shared
+		// device-side traffic on the configured channel count.
+		ch := 1
+		if d >= ncores {
+			ch = cfg.BusChannels
+		}
+		fab.buses = append(fab.buses, noc.NewWithOptions(k, hop, ch))
+		fab.spaces = append(fab.spaces, mem.NewAddressSpaceAt(k, mem.Addr(d+1)<<domainAddrShift))
+	}
+	// The single-system accessors point at the primary hub: the device,
+	// its bus slice, and its kernel are the closest parallel analogue of
+	// the sequential system's shared core.
+	s.kernel = pk.Domain(ncores)
+	s.bus = fab.buses[ncores]
+	s.as = fab.spaces[ncores]
+
+	for i := 0; i < ndev; i++ {
+		hubDom := ncores + i
+		hubK := pk.Domain(hubDom)
+		dev := vl.New(hubK, fab.buses[hubDom], fab.spaces[hubDom], cfg.SRD)
+		if cfg.Algorithm != AlgBaseline {
+			alg, ok := algorithm(cfg)
+			if !ok {
+				panic("spamer: unknown algorithm " + cfg.Algorithm)
+			}
+			n := cfg.SRD.LinkEntries
+			if n == 0 {
+				n = config.SRDEntries
+			}
+			spec := core.NewSpecBuf(n, alg)
+			dev.SetSpecExtension(spec)
+			s.specs = append(s.specs, spec)
+		}
+		hub := vl.NewHub(dev, hubDom, lookahead, pk.Post)
+		fab.hubs = append(fab.hubs, hub)
+		installStashRouter(fab, hub)
+
+		// One library per (device, core domain): endpoints bind to the
+		// instance of their thread's domain, so pages, senders, and
+		// clocks are domain-confined. The hub-side home library carries
+		// queue identity (SQI allocation happens at setup time, before
+		// any domain runs).
+		perDom := make([]*vlq.Lib, ncores)
+		for d := 0; d < ncores; d++ {
+			ri := isa.NewRemote(pk.Domain(d), fab.buses[d], hub, pk.Post, d)
+			l := vlq.New(pk.Domain(d), fab.spaces[d], dev, ri)
+			l.Inlined = !cfg.NoInline
+			perDom[d] = l
+		}
+		home := vlq.New(hubK, fab.spaces[hubDom], dev, isa.New(hubK, fab.buses[hubDom], dev))
+		home.Inlined = !cfg.NoInline
+		home.Binder = func(p *sim.Proc) *vlq.Lib {
+			return perDom[fab.domOf[p.Kernel()]]
+		}
+		s.devs = append(s.devs, dev)
+		s.libs = append(s.libs, home)
+	}
+	return s
+}
+
+// installStashRouter wires the hub device's stash output port to the
+// cross-domain fabric: a stash occupies the hub's bus slice (fixing an
+// arrival tick at least one lookahead ahead), the fill attempt runs in
+// the line's owning domain, and the hit/miss response returns on that
+// domain's bus slice as a PktResp — the Figure 5 round trip, split across
+// the conservative boundary.
+func installStashRouter(fab *fabric, hub *vl.Hub) {
+	dev := hub.Device()
+	hubDom := hub.Domain()
+	respFn := hub.StashResponseFn()
+	deliver := make([]func(a0, a1, a2, a3 uint64), fab.ncores)
+	for d := range deliver {
+		d := d
+		deliver[d] = func(a0, a1, a2, a3 uint64) {
+			line := fab.spaces[d].Lookup(mem.Addr(a1))
+			var hitBit uint64
+			if line.TryFill(mem.Message{Src: int(a2 >> 48), Seq: a2 & (1<<48 - 1), Payload: a3}) {
+				hitBit = 1
+			}
+			arrival := fab.buses[d].Occupy(noc.PktResp)
+			fab.pk.Post(d, hubDom, arrival, respFn, a0<<1|hitBit, 0, 0, 0)
+		}
+	}
+	dev.SetStashRouter(func(idx uint64, target mem.Addr, msg mem.Message) {
+		arrival := dev.Bus().Occupy(noc.PktStash)
+		dst := domainOfAddr(target)
+		fab.pk.Post(hubDom, dst, arrival, deliver[dst],
+			idx, uint64(target), uint64(uint16(msg.Src))<<48|msg.Seq, msg.Payload)
+	})
+}
+
+// runParallel drives a multi-domain simulation to completion and collects
+// the Result over the per-domain state.
+func (s *System) runParallel() Result {
+	pk := s.fab.pk
+	pk.Run()
+	if live := pk.LiveProcs(); live != 0 {
+		panic(panicDeadlock(live))
+	}
+	for _, fn := range s.onDrain {
+		fn()
+	}
+
+	r := Result{
+		Algorithm: s.cfg.Algorithm,
+		Ticks:     pk.LastEventTick(),
+	}
+	var busy, window uint64
+	for _, b := range s.fab.buses {
+		st := b.Stats()
+		for k := range r.Bus.Packets {
+			r.Bus.Packets[k] += st.Packets[k]
+		}
+		r.Bus.BusyCycles += st.BusyCycles
+		busy += st.BusyCycles
+		window += b.WindowCycles()
+	}
+	if window > 0 {
+		r.BusUtilization = float64(busy) / float64(window)
+	}
+	for i, d := range s.devs {
+		if i == 0 {
+			r.Device = d.Stats()
+		} else {
+			r.Device = addStats(r.Device, d.Stats())
+		}
+	}
+	r.MS = config.TicksToMS(r.Ticks)
+	s.collectQueues(&r)
+	return r
+}
+
+// EffectiveDomains reports the worker-lane count a system built from this
+// config will use: Domains, except that failure injection (EvictEvery)
+// forces the sequential kernel — the injector mutates consumer lines of
+// every domain from one global event stream, which no conservative
+// partition can host.
+func (c Config) EffectiveDomains() int {
+	if c.EvictEvery > 0 || c.Domains < 0 {
+		return 0
+	}
+	return c.Domains
+}
+
+// EffectiveDomains reports the system's resolved worker-lane count
+// (0 = sequential kernel).
+func (s *System) EffectiveDomains() int { return s.cfg.EffectiveDomains() }
+
+// ParallelKernel exposes the multi-domain kernel, or nil on a sequential
+// system (advanced use: quantum/cross-traffic diagnostics).
+func (s *System) ParallelKernel() *sim.ParallelKernel {
+	if s.fab == nil {
+		return nil
+	}
+	return s.fab.pk
+}
+
+// EnableDispatchTrace arms dispatch-trace hashing for golden tests. Must
+// be called before Run; read the hash with DispatchTraceHash after Run.
+func (s *System) EnableDispatchTrace() {
+	if s.fab != nil {
+		s.fab.trace = s.fab.pk.InstallTrace()
+		return
+	}
+	s.seqTraceOn = true
+	s.seqTrace = sim.TraceOffset
+	s.kernel.SetDispatchObserver(func(tick, seq uint64) {
+		s.seqTrace = sim.TraceFold(s.seqTrace, tick, seq)
+	})
+}
+
+// DispatchTraceHash reports the accumulated dispatch-trace hash: the
+// per-domain FNV-1a streams folded in domain order on a parallel system,
+// or the single kernel's stream on a sequential one.
+func (s *System) DispatchTraceHash() uint64 {
+	if s.fab != nil {
+		if s.fab.trace == nil {
+			panic("spamer: DispatchTraceHash without EnableDispatchTrace")
+		}
+		return s.fab.trace.Sum()
+	}
+	if !s.seqTraceOn {
+		panic("spamer: DispatchTraceHash without EnableDispatchTrace")
+	}
+	return s.seqTrace
+}

@@ -110,6 +110,20 @@ type Config struct {
 	// devices. All devices share the interconnect.
 	Devices int
 
+	// Domains selects the simulation kernel. 0 (the default) is the
+	// sequential kernel — the reference model whose dispatch traces the
+	// PR 3 golden tests pin. Any value >= 1 builds the multi-domain
+	// parallel fabric (one conservative domain per simulated core plus a
+	// hub domain per routing device) and uses Domains worker lanes to
+	// execute it; because the domain partitioning is fixed by the model
+	// and lanes only execute it, every Domains >= 1 dispatches the exact
+	// same event trace. The parallel fabric is a distinct deterministic
+	// model variant (per-domain bus slices; acceptance learned a response
+	// trip later), so its results differ from Domains=0 — compare within
+	// a kernel, not across. Failure injection (EvictEvery) forces the
+	// sequential kernel; see Config.EffectiveDomains.
+	Domains int
+
 	// EvictEvery enables failure injection: every EvictEvery cycles one
 	// consumer cache line (rotating deterministically over all
 	// endpoints) loses residency, as a cache conflict would cause. The
@@ -157,6 +171,11 @@ type System struct {
 
 	nextDev int
 
+	// fab is non-nil on multi-domain systems (Config.Domains >= 1).
+	fab        *fabric
+	seqTrace   uint64
+	seqTraceOn bool
+
 	threads []*Thread
 	queues  []*Queue
 
@@ -174,19 +193,22 @@ func NewSystem(cfg Config) *System {
 	if cfg.Deadline == 0 {
 		cfg.Deadline = 1 << 40
 	}
-	k := sim.New()
-	k.SetDeadline(cfg.Deadline)
 	hop := cfg.HopLatency
 	if hop == 0 {
 		hop = config.HopCycles
 	}
-	bus := noc.NewWithOptions(k, hop, cfg.BusChannels)
-	as := mem.NewAddressSpace(k)
-
 	ndev := cfg.Devices
 	if ndev <= 0 {
 		ndev = 1
 	}
+	if cfg.EffectiveDomains() > 0 {
+		return newParallelSystem(cfg, hop, ndev)
+	}
+	k := sim.New()
+	k.SetDeadline(cfg.Deadline)
+	bus := noc.NewWithOptions(k, hop, cfg.BusChannels)
+	as := mem.NewAddressSpace(k)
+
 	s := &System{cfg: cfg, kernel: k, bus: bus, as: as}
 	for i := 0; i < ndev; i++ {
 		dev := vl.New(k, bus, as, cfg.SRD)
@@ -260,7 +282,12 @@ func (s *System) Spawn(name string, body func(t *Thread)) *Thread {
 	}
 	t := &Thread{Core: len(s.threads) % config.NumCores}
 	s.threads = append(s.threads, t)
-	t.Proc = s.kernel.Go(name, func(p *sim.Proc) { body(t) })
+	k := s.kernel
+	if s.fab != nil {
+		// Each thread runs inside its core's simulation domain.
+		k = s.fab.pk.Domain(t.Core)
+	}
+	t.Proc = k.Go(name, func(p *sim.Proc) { body(t) })
 	return t
 }
 
@@ -285,18 +312,26 @@ func (s *System) Run() Result {
 		panic("spamer: Run called twice")
 	}
 	s.ran = true
+	if s.fab != nil {
+		s.result = s.runParallel()
+		return s.result
+	}
 	if s.cfg.EvictEvery > 0 {
 		s.startEvictionInjector(s.cfg.EvictEvery)
 	}
 	s.kernel.Run()
 	if live := s.kernel.LiveProcs(); live != 0 {
-		panic(fmt.Sprintf("spamer: deadlock — %d threads still parked with no pending events", live))
+		panic(panicDeadlock(live))
 	}
 	for _, fn := range s.onDrain {
 		fn()
 	}
 	s.result = s.collect()
 	return s.result
+}
+
+func panicDeadlock(live int) string {
+	return fmt.Sprintf("spamer: deadlock — %d threads still parked with no pending events", live)
 }
 
 func (s *System) collect() Result {
@@ -315,12 +350,20 @@ func (s *System) collect() Result {
 		}
 	}
 	r.MS = config.TicksToMS(r.Ticks)
-	var consumers int
+	s.collectQueues(&r)
+	return r
+}
+
+// collectQueues folds per-queue message counts and consumer-line
+// occupancy into the result (shared by the sequential and parallel
+// collectors; after a parallel run every domain clock has been
+// normalized to the last event tick, so the occupancy integrals of
+// different domains cover the same window).
+func (s *System) collectQueues(r *Result) {
 	for _, q := range s.queues {
 		r.Pushed += q.inner.Pushed()
 		r.Popped += q.inner.Popped()
 		for _, c := range q.inner.Consumers() {
-			consumers++
 			e, v := mem.Occupancy(c.Lines())
 			r.EmptyTicks += e
 			r.NonEmptyTicks += v
@@ -331,7 +374,6 @@ func (s *System) collect() Result {
 		r.AvgEmptyTicks = float64(r.EmptyTicks) / float64(r.ConsumerLines)
 		r.AvgNonEmptyTicks = float64(r.NonEmptyTicks) / float64(r.ConsumerLines)
 	}
-	return r
 }
 
 // startEvictionInjector arms the failure injector: a recurring event
