@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race bench bench-ci repro figures trace sweep latency area ablate tune serve clean
+.PHONY: all check build vet test test-race verify-oracle fuzz-smoke bench bench-ci repro figures trace sweep latency area ablate tune serve clean
 
 # BENCH_JSON tracks the perf trajectory across PRs: bump the suffix when
 # a PR materially changes the benchmark surface and commit the new file.
@@ -28,6 +28,26 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Randomized differential-oracle campaign (docs/TESTING.md): N seeded
+# cases under the full invariant battery. Failing cases are minimized
+# and written as JSON repros under ORACLE_OUT; replay one with
+#   go run ./cmd/spamer-verify -repro <file>
+N ?= 50
+ORACLE_SEED ?= 1
+ORACLE_OUT ?= .
+verify-oracle:
+	$(GO) run ./cmd/spamer-verify -n $(N) -seed $(ORACLE_SEED) -out $(ORACLE_OUT)
+
+# Short native-fuzz pass over every Fuzz target (seed corpora live in
+# testdata/fuzz). Go allows one fuzz target per -fuzz run, hence the
+# loop. FUZZTIME=30s in CI's nightly non-blocking job.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzPredictors -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzReadSpecs -fuzztime=$(FUZZTIME) ./internal/experiments
+	$(GO) test -run=NONE -fuzz=FuzzSpamerVsVL -fuzztime=$(FUZZTIME) ./internal/oracle
+	$(GO) test -run=NONE -fuzz=FuzzDifferentialKernels -fuzztime=$(FUZZTIME) ./internal/oracle
 
 # Full benchmark pass: every table/figure as a testing.B target. The
 # stream also feeds spamer-benchjson, which records name -> ns/op and

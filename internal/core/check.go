@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// OnFlyCount reports how many entries currently hold the on-fly
+// throttle bit — i.e. have a speculative push in flight. At any drained
+// point it must be zero; the verification oracle checks that.
+func (b *SpecBuf) OnFlyCount() int {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].Valid && b.entries[i].OnFly {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckStructure verifies the specBuf structural invariants: the free
+// list and the valid entries partition the table; every SQI's Next chain
+// is a closed loop of valid entries of that SQI containing the SQI's
+// specHead; every valid entry is reachable from its SQI's head; and each
+// entry's Offset stays inside its registered segment. It returns the
+// first inconsistency found, or nil.
+func (b *SpecBuf) CheckStructure() error {
+	valid := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.Valid {
+			continue
+		}
+		valid++
+		if e.Len <= 0 {
+			return fmt.Errorf("core: specBuf entry %d has segment length %d", i, e.Len)
+		}
+		if e.Offset < 0 || e.Offset >= e.Len {
+			return fmt.Errorf("core: specBuf entry %d Offset %d outside [0,%d)", i, e.Offset, e.Len)
+		}
+	}
+	if valid+len(b.free) != len(b.entries) {
+		return fmt.Errorf("core: %d valid + %d free != %d specBuf entries", valid, len(b.free), len(b.entries))
+	}
+	seen := make([]bool, len(b.entries))
+	for _, idx := range b.free {
+		if idx < 0 || idx >= len(b.entries) {
+			return fmt.Errorf("core: specBuf free list holds out-of-range index %d", idx)
+		}
+		if b.entries[idx].Valid {
+			return fmt.Errorf("core: specBuf entry %d on free list but valid", idx)
+		}
+		if seen[idx] {
+			return fmt.Errorf("core: specBuf entry %d on free list twice", idx)
+		}
+		seen[idx] = true
+	}
+	reachable := 0
+	for sqi, head := range b.specHead {
+		if head < 0 {
+			continue
+		}
+		idx := int(head)
+		for steps := 0; ; steps++ {
+			if idx < 0 || idx >= len(b.entries) {
+				return fmt.Errorf("core: SQI %d loop holds out-of-range index %d", sqi, idx)
+			}
+			e := &b.entries[idx]
+			if !e.Valid {
+				return fmt.Errorf("core: SQI %d loop reaches invalid entry %d", sqi, idx)
+			}
+			if int(e.SQI) != sqi {
+				return fmt.Errorf("core: entry %d in SQI %d loop is tagged SQI %d", idx, sqi, e.SQI)
+			}
+			if seen[idx] {
+				return fmt.Errorf("core: specBuf entry %d reached twice (broken loop)", idx)
+			}
+			seen[idx] = true
+			reachable++
+			if steps > len(b.entries) {
+				return fmt.Errorf("core: SQI %d loop does not close", sqi)
+			}
+			idx = e.Next
+			if idx == int(head) {
+				break
+			}
+		}
+	}
+	if reachable != valid {
+		return fmt.Errorf("core: %d valid specBuf entries but only %d reachable from specHeads", valid, reachable)
+	}
+	return nil
+}

@@ -70,6 +70,14 @@ func (s Spec) Canonical() Spec {
 		// timing model (see docs/SIMULATOR.md, "Parallel kernel").
 		c.Domains = 1
 	}
+	if c.Fault != nil {
+		if c.Fault.DropStash == 0 {
+			c.Fault = nil
+		} else {
+			f := *c.Fault
+			c.Fault = &f
+		}
+	}
 	if c.Tuned != nil {
 		if !usesTuned(c.Algorithms) || *c.Tuned == defaultTunedSpec() {
 			c.Tuned = nil

@@ -39,6 +39,18 @@ const (
 	goldenParTicksFIRTuned = 107469
 )
 
+// Golden sequential dispatch-trace hashes for the incast benchmark —
+// the asymmetric (4:1 fan-in) counterpart to the 1:1 FIR chain above,
+// pinning the multi-consumer-line arbitration and producer-window paths
+// the chain never exercises. Recorded on the sequential kernel at
+// default hardware knobs.
+const (
+	goldenTraceIncastVL     = 0xe4b4310410456682
+	goldenTraceIncast0Delay = 0x57d6cf8005f51e07
+	goldenTicksIncastVL     = 220879
+	goldenTicksIncast0Delay = 146506
+)
+
 // fnv1aPair folds one (tick, seq) pair into an FNV-1a style hash
 // without allocating.
 func fnv1aPair(h, tick, seq uint64) uint64 {
@@ -96,9 +108,39 @@ func TestGoldenDispatchTrace(t *testing.T) {
 	}
 }
 
+// TestGoldenIncastTrace pins the sequential dispatch trace of the
+// asymmetric incast benchmark (four producers funneling into one
+// 32-line consumer) under the baseline and the zero-delay speculative
+// configuration.
+func TestGoldenIncastTrace(t *testing.T) {
+	w, ok := workloads.ByName("incast")
+	if !ok {
+		t.Fatal("incast workload missing")
+	}
+	for _, tc := range []struct {
+		alg   string
+		hash  uint64
+		ticks uint64
+	}{
+		{spamer.AlgBaseline, goldenTraceIncastVL, goldenTicksIncastVL},
+		{spamer.AlgZeroDelay, goldenTraceIncast0Delay, goldenTicksIncast0Delay},
+	} {
+		sys := spamer.NewSystem(spamer.Config{Algorithm: tc.alg})
+		sys.EnableDispatchTrace()
+		w.Build(sys, 1)
+		res := sys.Run()
+		if h := sys.DispatchTraceHash(); h != tc.hash {
+			t.Errorf("%s: incast dispatch trace hash = %#x, golden %#x", tc.alg, h, tc.hash)
+		}
+		if res.Ticks != tc.ticks {
+			t.Errorf("%s: incast ticks = %d, golden %d", tc.alg, res.Ticks, tc.ticks)
+		}
+	}
+}
+
 // TestGoldenParallelTrace proves the multi-domain kernel dispatches a
 // bit-identical event trace regardless of worker-lane count: the same
-// golden FIR configuration at domains 1, 2, 4, and 8 must reproduce the
+// golden FIR configuration at domains 1 through 16 must reproduce the
 // recorded hash and tick count exactly. Any divergence means the
 // conservative barrier or the mailbox merge order leaked execution
 // nondeterminism into simulated time.
@@ -115,7 +157,7 @@ func TestGoldenParallelTrace(t *testing.T) {
 		{spamer.AlgBaseline, goldenParTraceFIRVL, goldenParTicksFIRVL},
 		{spamer.AlgTuned, goldenParTraceFIRTuned, goldenParTicksFIRTuned},
 	} {
-		for _, domains := range []int{1, 2, 4, 8} {
+		for _, domains := range []int{1, 2, 4, 8, 16} {
 			cfg := spamer.Config{
 				Algorithm: tc.alg,
 				Tuned:     config.TunedParams{Zeta: 512, Tau: 96, Delta: 64, Alpha: 1, Beta: 2},

@@ -35,7 +35,18 @@ type Spec struct {
 	Tuned      *TunedSpec  `json:"tuned,omitempty"`
 	Repeat     int         `json:"repeat,omitempty"` // determinism check
 	Label      string      `json:"label,omitempty"`
+	Fault      *FaultSpec  `json:"fault,omitempty"` // verification-only fault injection
 	Extensions *Extensions `json:"extensions,omitempty"`
+}
+
+// FaultSpec arms deterministic fault injection. It exists for the
+// verification oracle: a campaign that finds a violation emits the
+// failing spec — fault and all — as a plain runnable JSON repro, and
+// tests use it to prove the invariants catch real failures.
+type FaultSpec struct {
+	// DropStash makes the routing device lose its n-th stash delivery
+	// (1-based): the device acknowledges a hit without filling the line.
+	DropStash uint64 `json:"drop_stash,omitempty"`
 }
 
 // TunedSpec is the JSON form of config.TunedParams.
@@ -95,6 +106,9 @@ func (s *Spec) Validate() error {
 		if !w.ParallelSafe {
 			return fmt.Errorf("experiments: benchmark %q is not parallel-safe (domains must be 0)", s.Benchmark)
 		}
+		if s.Fault != nil && s.Fault.DropStash > 0 {
+			return fmt.Errorf("experiments: fault injection requires the sequential kernel (domains must be 0)")
+		}
 	}
 	return nil
 }
@@ -118,6 +132,14 @@ func (s *Spec) workload() (*workloads.Workload, bool) {
 	return nil, false
 }
 
+// SystemConfig resolves the spec's hardware knobs into the simulator
+// configuration one algorithm's run would use. The verification oracle
+// builds its instrumented systems from this, so an oracle run and a
+// Spec.Run of the same spec simulate the identical machine.
+func (s *Spec) SystemConfig(alg string) spamer.Config {
+	return s.systemConfig(alg)
+}
+
 func (s *Spec) systemConfig(alg string) spamer.Config {
 	cfg := spamer.Config{
 		Algorithm:   alg,
@@ -127,6 +149,9 @@ func (s *Spec) systemConfig(alg string) spamer.Config {
 		NoInline:    s.NoInline,
 		Domains:     s.Domains,
 		Deadline:    1 << 40,
+	}
+	if s.Fault != nil {
+		cfg.FaultDropStash = s.Fault.DropStash
 	}
 	if s.SRDEntries > 0 {
 		cfg.SRD = vl.Config{ProdEntries: s.SRDEntries, ConsEntries: s.SRDEntries, LinkEntries: maxInt(s.SRDEntries, 64)}

@@ -29,6 +29,62 @@ func TestSpecValidate(t *testing.T) {
 	}
 }
 
+// TestSpecValidateErrors pins the message of every Validate error path,
+// so API clients (the service returns these verbatim as 400 bodies) and
+// the oracle's invalid-case reporting stay actionable.
+func TestSpecValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"missing benchmark", Spec{}, "missing benchmark"},
+		{"unknown benchmark", Spec{Benchmark: "nope"}, `unknown benchmark "nope"`},
+		{"unknown algorithm", Spec{Benchmark: "FIR", Algorithms: []string{"bogus"}}, `unknown algorithm "bogus"`},
+		{"negative scale", Spec{Benchmark: "FIR", Scale: -1}, "negative scale/repeat"},
+		{"negative repeat", Spec{Benchmark: "FIR", Repeat: -2}, "negative scale/repeat"},
+		{"negative domains", Spec{Benchmark: "FIR", Domains: -1}, "negative domains"},
+		{"domains on unsafe benchmark", Spec{Benchmark: "incast", Domains: 2}, "not parallel-safe"},
+		{"fault on parallel kernel", Spec{Benchmark: "FIR", Domains: 2, Fault: &FaultSpec{DropStash: 1}},
+			"fault injection requires the sequential kernel"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	// The sequential-kernel restriction only binds an armed fault: a
+	// zero-drop FaultSpec is inert and must not invalidate domains.
+	ok := Spec{Benchmark: "FIR", Domains: 2, Fault: &FaultSpec{}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("inert fault rejected: %v", err)
+	}
+}
+
+// TestCanonicalFault: an inert fault block canonicalizes away (so it
+// cannot split the result cache), while an armed one survives — a
+// faulted spec must never share a cache entry with its clean twin.
+func TestCanonicalFault(t *testing.T) {
+	clean := Spec{Benchmark: "ping-pong"}
+	inert := Spec{Benchmark: "ping-pong", Fault: &FaultSpec{}}
+	armed := Spec{Benchmark: "ping-pong", Fault: &FaultSpec{DropStash: 3}}
+	if inert.Canonical().Fault != nil {
+		t.Error("inert fault survived canonicalization")
+	}
+	if inert.Hash() != clean.Hash() {
+		t.Error("inert fault split the cache key")
+	}
+	if armed.Canonical().Fault == nil || armed.Hash() == clean.Hash() {
+		t.Error("armed fault must keep its own cache key")
+	}
+	c := armed.Canonical()
+	c.Fault.DropStash = 99
+	if armed.Fault.DropStash != 3 {
+		t.Error("Canonical aliased the caller's FaultSpec")
+	}
+}
+
 func TestSpecRunProducesOutcomes(t *testing.T) {
 	s := Spec{Benchmark: "firewall", Algorithms: []string{"vl", "tuned"}, Label: "x"}
 	outs, err := s.Run()

@@ -1,0 +1,257 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"spamer"
+	"spamer/internal/oracle/gen"
+)
+
+// CampaignOptions parameterizes a randomized verification campaign.
+type CampaignOptions struct {
+	// Seed is the campaign's base seed; case i derives its own seed from
+	// it, so any failing case replays independently.
+	Seed uint64
+	// N is the number of random cases to check.
+	N int
+	// Domains is the lane-count list for cross-kernel checks on
+	// parallel-safe cases (default 1, 2, 4, 8, 16).
+	Domains []int
+	// ReproDir is where minimized failing cases are written as JSON
+	// ("" = current directory).
+	ReproDir string
+	// Log, when non-nil, receives one progress line per failure and a
+	// periodic heartbeat.
+	Log io.Writer
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	Cases    int           `json:"cases"`
+	Runs     int           `json:"runs"`
+	Failures []CaseFailure `json:"failures,omitempty"`
+}
+
+// CaseFailure is one failing case: the minimized reproducer, the
+// original case it shrank from, and the violations the minimized case
+// still triggers.
+type CaseFailure struct {
+	Case       gen.Case    `json:"case"`
+	Original   gen.Case    `json:"original_case"`
+	Violations []Violation `json:"violations"`
+	ReproPath  string      `json:"repro_path,omitempty"`
+}
+
+// caseSeed spreads the campaign seed across case indices.
+func caseSeed(base uint64, i int) uint64 {
+	return (base + uint64(i)) * 0x9e3779b97f4a7c15
+}
+
+// Campaign draws N random cases and checks each under the full
+// invariant battery (CheckCase). Every failing case is minimized and
+// written to ReproDir; the campaign continues past failures so one bug
+// does not mask another.
+func Campaign(opts CampaignOptions) (CampaignResult, error) {
+	if opts.N <= 0 {
+		opts.N = 50
+	}
+	domains := opts.Domains
+	if domains == nil {
+		domains = []int{1, 2, 4, 8, 16}
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+	var res CampaignResult
+	for i := 0; i < opts.N; i++ {
+		seed := caseSeed(opts.Seed, i)
+		cs := gen.New(seed).Case(domains)
+		cs.Seed = seed
+		rep := CheckCase(cs)
+		res.Cases++
+		res.Runs += rep.Runs
+		if i > 0 && i%25 == 0 {
+			logf("oracle: %d/%d cases, %d runs, %d failures", i, opts.N, res.Runs, len(res.Failures))
+		}
+		if !rep.Failed() {
+			continue
+		}
+		logf("oracle: case %d (seed %#x) FAILED: %s", i, seed, rep.Violations[0])
+		min, runs := Minimize(cs)
+		res.Runs += runs
+		fail := CaseFailure{Case: min.Case, Original: cs, Violations: min.Violations}
+		path, err := writeRepro(opts.ReproDir, seed, fail)
+		if err != nil {
+			return res, fmt.Errorf("oracle: writing repro: %w", err)
+		}
+		fail.ReproPath = path
+		logf("oracle: minimized repro written to %s", path)
+		res.Failures = append(res.Failures, fail)
+	}
+	return res, nil
+}
+
+// writeRepro persists a failure as an indented JSON file the
+// spamer-verify CLI can replay with -repro.
+func writeRepro(dir string, seed uint64, fail CaseFailure) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("oracle-repro-%016x.json", seed))
+	data, err := json.MarshalIndent(fail, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReproFile loads a failure file previously written by a campaign.
+func ReadReproFile(path string) (CaseFailure, error) {
+	var fail CaseFailure
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail, err
+	}
+	if err := json.Unmarshal(data, &fail); err != nil {
+		return fail, fmt.Errorf("oracle: repro file %s: %w", path, err)
+	}
+	return fail, nil
+}
+
+// minimizeBudget bounds the candidate CheckCase runs one minimization
+// may spend.
+const minimizeBudget = 48
+
+// Minimize greedily shrinks a failing case while it still violates any
+// invariant, returning the smallest failing report found and the number
+// of candidate runs spent. The shrink moves work on the case's data —
+// halving message counts, dropping stages/endpoints/algorithms, and
+// clearing pressure knobs — so the repro a campaign emits is as close
+// to minimal as a bounded greedy pass gets.
+func Minimize(cs gen.Case) (CaseReport, int) {
+	best := CheckCase(cs)
+	runs := 1
+	if !best.Failed() {
+		return best, runs // flaky environment failure; nothing to shrink
+	}
+	for runs < minimizeBudget {
+		improved := false
+		for _, cand := range shrinkSteps(best.Case) {
+			if runs >= minimizeBudget {
+				break
+			}
+			rep := CheckCase(cand)
+			runs++
+			if rep.Failed() {
+				best = rep
+				improved = true
+				break // restart shrinking from the smaller case
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, runs
+}
+
+// shrinkSteps proposes strictly-smaller variants of a case, most
+// aggressive first.
+func shrinkSteps(cs gen.Case) []gen.Case {
+	var out []gen.Case
+	add := func(mut func(*gen.Case)) {
+		c := cloneCase(cs)
+		mut(&c)
+		out = append(out, c)
+	}
+	if sh := cs.Shape; sh != nil {
+		if sh.Messages > 1 {
+			add(func(c *gen.Case) { c.Shape.Messages /= 2 })
+			add(func(c *gen.Case) { c.Shape.Messages = 1 })
+		}
+		if sh.Stages > 2 {
+			add(func(c *gen.Case) { c.Shape.Stages = 2 })
+		}
+		if sh.Producers > 1 {
+			add(func(c *gen.Case) { c.Shape.Producers = 1 })
+		}
+		if sh.Consumers > 1 {
+			add(func(c *gen.Case) { c.Shape.Consumers = 1 })
+		}
+		if sh.Burst > 0 {
+			add(func(c *gen.Case) { c.Shape.Burst, c.Shape.BurstGap = 0, 0 })
+		}
+		if sh.ProdWork > 0 || sh.ConsWork > 0 {
+			add(func(c *gen.Case) { c.Shape.ProdWork, c.Shape.ConsWork = 0, 0 })
+		}
+		if sh.Lines > 1 {
+			add(func(c *gen.Case) { c.Shape.Lines = 1 })
+		}
+		if sh.Window > 0 {
+			add(func(c *gen.Case) { c.Shape.Window = 0 })
+		}
+	}
+	if len(cs.Spec.Algorithms) > 2 {
+		for i := 1; i < len(cs.Spec.Algorithms); i++ {
+			i := i
+			add(func(c *gen.Case) {
+				c.Spec.Algorithms = append(c.Spec.Algorithms[:i:i], c.Spec.Algorithms[i+1:]...)
+			})
+		}
+	} else if len(cs.Spec.Algorithms) == 2 && cs.Spec.Algorithms[0] == spamer.AlgBaseline {
+		add(func(c *gen.Case) { c.Spec.Algorithms = c.Spec.Algorithms[:1] })
+	}
+	if cs.EvictEvery > 0 {
+		add(func(c *gen.Case) { c.EvictEvery = 0 })
+	}
+	if len(cs.Domains) > 2 {
+		add(func(c *gen.Case) { c.Domains = []int{c.Domains[0], c.Domains[len(c.Domains)-1]} })
+	} else if len(cs.Domains) > 0 {
+		add(func(c *gen.Case) { c.Domains = nil })
+	}
+	if cs.Spec.SRDEntries > 0 {
+		add(func(c *gen.Case) { c.Spec.SRDEntries = 0 })
+	}
+	if cs.Spec.HopLatency > 0 {
+		add(func(c *gen.Case) { c.Spec.HopLatency = 0 })
+	}
+	if cs.Spec.Channels > 0 {
+		add(func(c *gen.Case) { c.Spec.Channels = 0 })
+	}
+	if cs.Spec.Tuned != nil {
+		add(func(c *gen.Case) { c.Spec.Tuned = nil })
+	}
+	if cs.Spec.NoInline {
+		add(func(c *gen.Case) { c.Spec.NoInline = false })
+	}
+	return out
+}
+
+// cloneCase deep-copies the case so shrink mutations never alias.
+func cloneCase(cs gen.Case) gen.Case {
+	c := cs
+	if cs.Shape != nil {
+		sh := *cs.Shape
+		c.Shape = &sh
+	}
+	if cs.Spec.Tuned != nil {
+		t := *cs.Spec.Tuned
+		c.Spec.Tuned = &t
+	}
+	if cs.Spec.Fault != nil {
+		f := *cs.Spec.Fault
+		c.Spec.Fault = &f
+	}
+	c.Spec.Algorithms = append([]string(nil), cs.Spec.Algorithms...)
+	c.Domains = append([]int(nil), cs.Domains...)
+	return c
+}

@@ -1,0 +1,271 @@
+// Package gen generates the randomized inputs of the verification
+// oracle: seeded pseudo-random experiment specs and synthetic workload
+// shapes (internal/workloads.Shape) bundled as Cases. Every Case is
+// fully determined by its seed and JSON-serializable, so a failing case
+// from a campaign or a fuzz run can be persisted verbatim and replayed.
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"spamer"
+	"spamer/internal/experiments"
+	"spamer/internal/workloads"
+)
+
+// Case is one generated verification case: an experiment spec plus an
+// optional synthetic workload shape. With a nil Shape the spec's named
+// benchmark runs; with a Shape the synthetic workload replaces the
+// benchmark and the spec contributes only the hardware and algorithm
+// knobs (its Benchmark field is the informational "synthetic").
+type Case struct {
+	// Seed is the value the case was generated from (diagnostic).
+	Seed uint64 `json:"seed,omitempty"`
+
+	Spec  experiments.Spec `json:"spec"`
+	Shape *workloads.Shape `json:"shape,omitempty"`
+
+	// Domains lists the parallel worker-lane counts the cross-kernel
+	// equivalence check compares (each must dispatch a bit-identical
+	// trace). Empty skips the check; it only applies to parallel-safe
+	// workloads.
+	Domains []int `json:"domains,omitempty"`
+
+	// EvictEvery arms line-eviction pressure (spamer.Config.EvictEvery)
+	// on the sequential invariant runs.
+	EvictEvery uint64 `json:"evict_every,omitempty"`
+}
+
+// Validate rejects cases that cannot run.
+func (c *Case) Validate() error {
+	if c.Shape == nil {
+		return c.Spec.Validate()
+	}
+	if err := c.Shape.Validate(); err != nil {
+		return err
+	}
+	for _, a := range c.Spec.Algorithms {
+		if _, ok := algConfig(a); !ok {
+			return fmt.Errorf("gen: unknown algorithm %q", a)
+		}
+	}
+	for _, d := range c.Domains {
+		if d < 1 {
+			return fmt.Errorf("gen: cross-kernel domain count %d < 1", d)
+		}
+	}
+	return nil
+}
+
+func algConfig(a string) (struct{}, bool) {
+	for _, known := range spamer.Configs() {
+		if a == known {
+			return struct{}{}, true
+		}
+	}
+	return struct{}{}, false
+}
+
+// Workload materializes the case's workload: the shape when present,
+// the named benchmark otherwise.
+func (c *Case) Workload() (*workloads.Workload, error) {
+	if c.Shape != nil {
+		return c.Shape.Workload(), nil
+	}
+	w, ok := workloads.ByName(c.Spec.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown benchmark %q", c.Spec.Benchmark)
+	}
+	return w, nil
+}
+
+// WriteFile persists the case as indented JSON (repro files).
+func (c *Case) WriteFile(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadCaseFile loads a case previously written with WriteFile.
+func ReadCaseFile(path string) (Case, error) {
+	var c Case
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("gen: case file %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Gen is a deterministic case stream.
+type Gen struct {
+	seed uint64
+	rng  *rand.Rand
+}
+
+// New returns a generator seeded with seed. Identical seeds yield
+// identical case streams on every platform.
+func New(seed uint64) *Gen {
+	return &Gen{seed: seed, rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Case draws one random verification case. domains is the lane-count
+// list attached to parallel-safe cases (nil skips cross-kernel checks).
+// The mix leans heavily on synthetic shapes — they run in milliseconds —
+// with an occasional named Table 2 benchmark for realism.
+func (g *Gen) Case(domains []int) Case {
+	c := Case{Seed: g.seed}
+	switch r := g.rng.Intn(16); {
+	case r < 8:
+		c.Shape = g.chain()
+		c.Domains = append([]int(nil), domains...)
+	case r < 14:
+		c.Shape = g.fan()
+	default:
+		g.named(&c)
+	}
+	g.knobs(&c)
+	return c
+}
+
+// ChainCase always draws a parallel-safe chain-shape case — the entry
+// point of FuzzDifferentialKernels, which needs every input to exercise
+// the cross-kernel comparison rather than an occasional benchmark.
+func (g *Gen) ChainCase(domains []int) Case {
+	c := Case{Seed: g.seed, Shape: g.chain(), Domains: append([]int(nil), domains...)}
+	g.knobs(&c)
+	return c
+}
+
+// FanCase always draws a sequential fan-shape case — the entry point of
+// FuzzSpamerVsVL (M:N fans stress the multi-consumer delivery paths the
+// chain shapes cannot reach).
+func (g *Gen) FanCase() Case {
+	c := Case{Seed: g.seed, Shape: g.fan()}
+	g.knobs(&c)
+	return c
+}
+
+// chain draws a parallel-safe 1:1 pipeline shape.
+func (g *Gen) chain() *workloads.Shape {
+	sh := &workloads.Shape{
+		Stages:   2 + g.rng.Intn(4),      // 2..5 threads
+		Messages: 8 + g.rng.Intn(150),    // 8..157 per chain
+		ProdWork: uint64(g.rng.Intn(80)), // 0..79 cycles
+		ConsWork: uint64(g.rng.Intn(80)), //
+		Lines:    1 + g.rng.Intn(4),      // 1..4 consumer lines
+		Window:   g.rng.Intn(5),          // 0 (default) .. 4
+	}
+	if g.rng.Intn(3) == 0 {
+		sh.Burst = 2 + g.rng.Intn(7) // bursty arrivals
+	}
+	return sh
+}
+
+// fan draws an M:N fan shape (sequential-only).
+func (g *Gen) fan() *workloads.Shape {
+	sh := &workloads.Shape{
+		Producers: 1 + g.rng.Intn(4), // 1..4
+		Consumers: 1 + g.rng.Intn(3), // 1..3
+		Messages:  6 + g.rng.Intn(75),
+		ProdWork:  uint64(g.rng.Intn(60)),
+		ConsWork:  uint64(g.rng.Intn(60)),
+		Lines:     1 + g.rng.Intn(4),
+		Window:    g.rng.Intn(5),
+	}
+	if g.rng.Intn(3) == 0 {
+		sh.Burst = 2 + g.rng.Intn(7)
+	}
+	return sh
+}
+
+// named picks a real Table 2 benchmark. ping-pong and incast dominate
+// (they finish fast); the FIR chain appears rarely and with a trimmed
+// algorithm list to bound campaign time.
+func (g *Gen) named(c *Case) {
+	switch g.rng.Intn(8) {
+	case 0:
+		c.Spec.Benchmark = "FIR"
+		c.Spec.Algorithms = []string{spamer.AlgBaseline, g.specAlg()}
+	case 1, 2, 3:
+		c.Spec.Benchmark = "incast"
+	default:
+		c.Spec.Benchmark = "ping-pong"
+	}
+}
+
+func (g *Gen) specAlg() string {
+	return []string{spamer.AlgZeroDelay, spamer.AlgAdaptive, spamer.AlgTuned}[g.rng.Intn(3)]
+}
+
+// knobs randomizes the hardware and pressure knobs shared by both case
+// families.
+func (g *Gen) knobs(c *Case) {
+	if len(c.Spec.Algorithms) == 0 {
+		algs := []string{spamer.AlgBaseline, g.specAlg()}
+		if g.rng.Intn(2) == 0 {
+			if extra := g.specAlg(); extra != algs[1] {
+				algs = append(algs, extra)
+			}
+		}
+		c.Spec.Algorithms = algs
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		c.Spec.HopLatency = uint64(4 + g.rng.Intn(45)) // 4..48
+	case 1:
+		c.Spec.Channels = 1 + g.rng.Intn(2)
+	}
+	if g.rng.Intn(4) == 0 {
+		// Small device tables: NACK backpressure and retry pressure.
+		c.Spec.SRDEntries = []int{8, 16, 32}[g.rng.Intn(3)]
+	}
+	if g.rng.Intn(8) == 0 {
+		c.Spec.NoInline = true
+	}
+	if usesAlg(c.Spec.Algorithms, spamer.AlgTuned) && g.rng.Intn(3) == 0 {
+		c.Spec.Tuned = &experiments.TunedSpec{
+			Zeta:  uint64(64 + g.rng.Intn(1024)),
+			Tau:   uint64(16 + g.rng.Intn(256)),
+			Delta: uint64(8 + g.rng.Intn(128)),
+			Alpha: uint64(1 + g.rng.Intn(3)),
+			Beta:  uint64(1 + g.rng.Intn(4)),
+		}
+	}
+	// Eviction pressure on the sequential invariant runs: every message
+	// must still arrive exactly once while lines keep losing residency.
+	// Skipped for cross-kernel cases (eviction forces the sequential
+	// kernel, which would silently void the domain comparison).
+	if len(c.Domains) == 0 && g.rng.Intn(4) == 0 {
+		c.EvictEvery = uint64(300 + g.rng.Intn(2700))
+	}
+	if c.Shape != nil {
+		c.Spec.Benchmark = "synthetic"
+	}
+}
+
+func usesAlg(algs []string, want string) bool {
+	for _, a := range algs {
+		if a == want {
+			return true
+		}
+	}
+	return false
+}
+
+// SeedFromBytes derives a generator seed from raw fuzz input, mixing
+// every byte so small input mutations reach distinct cases.
+func SeedFromBytes(data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h ^ uint64(len(data))<<32
+}

@@ -1,0 +1,171 @@
+package oracle
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"spamer"
+	"spamer/internal/experiments"
+	"spamer/internal/oracle/gen"
+	"spamer/internal/workloads"
+)
+
+func hasViolation(vs []Violation, invariant string) bool {
+	for _, v := range vs {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFaultDropCaughtByConservation is the oracle's end-to-end
+// self-test: an intentionally injected message drop (the Nth stash
+// delivery acknowledged but never filled) must be caught by the
+// conservation invariant, the failing case must minimize to a smaller
+// one that still fails, and the minimized repro must round-trip through
+// the campaign's JSON repro file and still reproduce on replay.
+func TestFaultDropCaughtByConservation(t *testing.T) {
+	cs := gen.Case{
+		Spec: experiments.Spec{
+			Benchmark:  "synthetic",
+			Algorithms: []string{spamer.AlgBaseline, spamer.AlgZeroDelay},
+			Fault:      &experiments.FaultSpec{DropStash: 5},
+		},
+		Shape: &workloads.Shape{Stages: 4, Messages: 96, Lines: 2, ProdWork: 20, ConsWork: 35},
+	}
+
+	rep := CheckCase(cs)
+	if !rep.Failed() {
+		t.Fatal("injected message drop not detected")
+	}
+	if !hasViolation(rep.Violations, "message-loss") {
+		t.Fatalf("conservation invariant missed the drop; got %v", rep.Violations)
+	}
+	if !hasViolation(rep.Violations, "run-panic") {
+		t.Fatalf("lost message should deadlock the run; got %v", rep.Violations)
+	}
+
+	min, runs := Minimize(cs)
+	if runs < 2 {
+		t.Fatalf("Minimize spent %d runs, expected shrink attempts", runs)
+	}
+	if !min.Failed() || !hasViolation(min.Violations, "message-loss") {
+		t.Fatalf("minimized case lost the violation: %v", min.Violations)
+	}
+	if min.Case.Shape == nil || min.Case.Shape.Messages >= cs.Shape.Messages {
+		t.Fatalf("case did not shrink: %+v", min.Case.Shape)
+	}
+
+	// The campaign repro workflow: persist, reload, replay.
+	path, err := writeRepro(t.TempDir(), 42, CaseFailure{Case: min.Case, Original: cs, Violations: min.Violations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail, err := ReadReproFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := CheckCase(fail.Case)
+	if !hasViolation(replayed.Violations, "message-loss") {
+		t.Fatalf("reloaded repro no longer reproduces: %v", replayed.Violations)
+	}
+}
+
+// TestCampaignClean pins the healthy-simulator contract: a randomized
+// campaign over shapes, benchmarks, knobs, and kernels yields zero
+// violations (the make verify-oracle gate, in miniature).
+func TestCampaignClean(t *testing.T) {
+	res, err := Campaign(CampaignOptions{Seed: 0xa5a5, N: 12, Domains: []int{1, 2}, ReproDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("campaign failures: %+v", res.Failures)
+	}
+	if res.Cases != 12 || res.Runs < res.Cases {
+		t.Fatalf("campaign accounting: %+v", res)
+	}
+}
+
+// TestEvictionDuringPopRegression pins the fix for a crash the fuzz
+// corpus surfaced: the eviction timer firing inside the L1-hit-latency
+// sleep of PopOrDone/TryPop hit a "Take on evicted line" panic (Pop
+// already re-checked; the other two dequeue paths did not). Fan shapes
+// drain through PopOrDone, so sweeping eviction periods over one would
+// crash without the re-check.
+func TestEvictionDuringPopRegression(t *testing.T) {
+	for _, evict := range []uint64{150, 350, 700, 1300} {
+		cs := gen.Case{
+			Spec: experiments.Spec{
+				Benchmark:  "synthetic",
+				Algorithms: []string{spamer.AlgBaseline, spamer.AlgZeroDelay},
+			},
+			Shape:      &workloads.Shape{Producers: 3, Consumers: 2, Messages: 60, Lines: 2, ConsWork: 25},
+			EvictEvery: evict,
+		}
+		if rep := CheckCase(cs); rep.Failed() {
+			t.Fatalf("evict_every=%d: %v", evict, rep.Violations)
+		}
+	}
+}
+
+// TestGenDeterminism: identical seeds must yield identical cases (the
+// whole repro story depends on it), and the stream must actually vary.
+func TestGenDeterminism(t *testing.T) {
+	domains := []int{1, 2, 4}
+	a := gen.New(123).Case(domains)
+	b := gen.New(123).Case(domains)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different cases:\n%+v\n%+v", a, b)
+	}
+	distinct := false
+	for seed := uint64(1); seed < 6; seed++ {
+		if !reflect.DeepEqual(gen.New(seed).Case(domains), a) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("generator ignores its seed")
+	}
+}
+
+// TestCompareDeliveries: the differential comparator must flag missing
+// links, diverging counts, and diverging content hashes.
+func TestCompareDeliveries(t *testing.T) {
+	base := Delivery{Queues: []QueueDelivery{{
+		Name:   "q0",
+		PerSrc: []SrcDelivery{{Src: 1, Count: 4, Sum: 0x1111}},
+	}}}
+	if diffs := CompareDeliveries(base, base); len(diffs) != 0 {
+		t.Fatalf("self-compare: %v", diffs)
+	}
+	short := Delivery{Queues: []QueueDelivery{{
+		Name:   "q0",
+		PerSrc: []SrcDelivery{{Src: 1, Count: 3, Sum: 0x2222}},
+	}}}
+	if diffs := CompareDeliveries(base, short); len(diffs) == 0 {
+		t.Fatal("count/content divergence not reported")
+	}
+	if diffs := CompareDeliveries(base, Delivery{}); len(diffs) == 0 {
+		t.Fatal("missing queue not reported")
+	}
+}
+
+// TestReplayRoundTripsBareCase: spamer-verify -repro accepts a bare
+// case file too, so hand-written cases are replayable.
+func TestReplayRoundTripsBareCase(t *testing.T) {
+	cs := gen.New(77).ChainCase([]int{1, 2})
+	path := filepath.Join(t.TempDir(), "case.json")
+	if err := cs.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gen.ReadCaseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cs) {
+		t.Fatalf("case round-trip:\n%+v\n%+v", got, cs)
+	}
+}

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// faultedSpec injects a message drop (the first stash delivery is
+// acknowledged but never filled), so the consumer parks forever and the
+// kernel's drain detects a deadlock.
+const faultedSpec = `{"benchmark":"ping-pong","algorithms":["vl"],"fault":{"drop_stash":1}}`
+
+// TestFaultedSpecFailsAndIsNotCached: a spec whose simulation dies (here
+// via fault injection, but a watchdog timeout looks the same) must
+// surface as a failed job with a structured per-spec error — and the
+// failure must NOT enter the result cache, so a resubmission simulates
+// again instead of serving the broken result.
+func TestFaultedSpecFailsAndIsNotCached(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	code, st := submit(t, ts, faultedSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	final := waitState(t, ts, st.ID, StateFailed)
+	if len(final.Errors) != 1 || !strings.Contains(final.Errors[0], "deadlock") {
+		t.Fatalf("want one structured deadlock error, got %v", final.Errors)
+	}
+	if final.Runs.Failed != 1 {
+		t.Fatalf("run progress: %+v", final.Runs)
+	}
+	if len(final.Outcomes) != 0 {
+		t.Fatalf("failed job leaked outcomes: %+v", final.Outcomes)
+	}
+
+	code2, st2 := submit(t, ts, faultedSpec)
+	if code2 != http.StatusAccepted {
+		t.Fatalf("resubmit = %d, want 202 (failed results must not be cached)", code2)
+	}
+	if st2.Cached {
+		t.Fatalf("resubmission served from cache: %+v", st2)
+	}
+	waitState(t, ts, st2.ID, StateFailed)
+
+	m := metricsBody(t, ts)
+	for _, want := range []string{
+		"spamer_serve_cache_hits_total 0",
+		`spamer_serve_jobs_total{outcome="failed"} 2`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

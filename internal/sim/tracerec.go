@@ -1,0 +1,28 @@
+package sim
+
+// TraceRecorder accumulates one kernel's dispatch trace as the FNV-1a
+// fold over its (tick, seq) pairs, plus an event count — the sequential
+// counterpart of ParallelTrace, shared by the golden tests, the System
+// trace plumbing, and the verification oracle.
+type TraceRecorder struct {
+	h uint64
+	n uint64
+}
+
+// NewTraceRecorder returns a recorder seeded with TraceOffset.
+func NewTraceRecorder() *TraceRecorder { return &TraceRecorder{h: TraceOffset} }
+
+// Attach installs the recorder as k's dispatch observer. A kernel has a
+// single observer slot; attaching replaces any previous one.
+func (t *TraceRecorder) Attach(k *Kernel) { k.SetDispatchObserver(t.observe) }
+
+func (t *TraceRecorder) observe(tick, seq uint64) {
+	t.h = TraceFold(t.h, tick, seq)
+	t.n++
+}
+
+// Sum reports the accumulated trace hash.
+func (t *TraceRecorder) Sum() uint64 { return t.h }
+
+// Events reports how many dispatches have been folded in.
+func (t *TraceRecorder) Events() uint64 { return t.n }

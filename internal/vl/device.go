@@ -73,6 +73,12 @@ type Device struct {
 	// entryInFlight (target and msg frozen) until that response arrives,
 	// exactly as on the same-domain path.
 	stashRouter func(idx uint64, target mem.Addr, msg mem.Message)
+
+	// Fault injection (verification only): when faultDropNth is non-zero
+	// the faultDropNth-th stash delivery acknowledges a hit without
+	// filling the line. See FaultDropStash.
+	faultDropNth     uint64
+	stashesDelivered uint64
 }
 
 // New creates a routing device on the given kernel, bus and address space.
@@ -471,6 +477,13 @@ func (d *Device) ensureSending() {
 // allocating a closure per packet.
 func (d *Device) deliverStash(idx uint64) {
 	e := &d.prod[idx]
+	d.stashesDelivered++
+	if d.faultDropNth != 0 && d.stashesDelivered == d.faultDropNth {
+		// Injected loss: report a hit without filling the line, so the
+		// device frees the entry and the message vanishes.
+		d.bus.SendFunc(noc.PktResp, d.handleResponseFn, idx<<1|1)
+		return
+	}
 	line := d.as.Lookup(e.target)
 	var hitBit uint64
 	if line.TryFill(e.msg) {

@@ -96,6 +96,27 @@ func (l *Lib) overhead() uint64 {
 	return config.CallOverheadCycles
 }
 
+// Probe observes the application-visible message traffic of a queue: one
+// Push call per message a producer submits, one Pop call per message a
+// consumer takes out of a line. The verification layer (internal/oracle)
+// implements it to check conservation, ordering, and payload integrity.
+//
+// Probe calls run synchronously inside the endpoint operation, on the
+// endpoint's simulation domain. Implementations must not schedule events
+// or touch simulation state — a probe is a pure observer, and installing
+// one must leave the dispatch trace bit-identical. On a multi-domain
+// system callbacks arrive concurrently from different worker lanes;
+// implementations synchronize internally.
+type Probe interface {
+	// Push observes msg entering the queue through producer endpoint
+	// producer at the given domain-local tick. The message already
+	// carries its (Src, Seq) link tag.
+	Push(q *Queue, producer int, tick uint64, msg mem.Message)
+	// Pop observes msg leaving the queue through consumer endpoint
+	// consumer at the given domain-local tick.
+	Pop(q *Queue, consumer int, tick uint64, msg mem.Message)
+}
+
 // Queue is one M:N message channel: a Shared Queue Identifier plus its
 // subscribed endpoints.
 type Queue struct {
@@ -105,6 +126,8 @@ type Queue struct {
 
 	producers []*Producer
 	consumers []*Consumer
+
+	probe Probe
 
 	closed bool
 }
@@ -127,6 +150,10 @@ func (l *Lib) NewQueue(name string) *Queue {
 
 // Queues returns every queue created through this library instance.
 func (l *Lib) Queues() []*Queue { return l.queues }
+
+// SetProbe installs a traffic observer on the queue. Must be called
+// before any endpoint operates on it; a nil probe disables observation.
+func (q *Queue) SetProbe(p Probe) { q.probe = p }
 
 // SQI returns the queue's Shared Queue Identifier.
 func (q *Queue) SQI() vl.SQI { return q.sqi }
@@ -270,6 +297,9 @@ func (pr *Producer) Push(p *sim.Proc, payload uint64) {
 	pr.outstanding++
 	msg := mem.Message{Src: pr.id, Seq: pr.seq, Payload: payload}
 	pr.seq++
+	if pr.q.probe != nil {
+		pr.q.probe.Push(pr.q, pr.id, p.Now(), msg)
+	}
 	lib.isa.Select(p)
 	lib.isa.Push(p, pr.snd, pr.q.sqi, msg, func() {
 		pr.outstanding--
@@ -467,6 +497,9 @@ func (c *Consumer) Pop(p *sim.Proc) mem.Message {
 	line.NoteFirstUse(line.Msg)
 	msg := line.Take()
 	c.popped++
+	if c.q.probe != nil {
+		c.q.probe.Pop(c.q, c.id, p.Now(), msg)
+	}
 	return msg
 }
 
@@ -489,24 +522,34 @@ func (c *Consumer) PopOrDone(p *sim.Proc, done *sim.Signal, isDone func() bool) 
 			c.postFetchNext(p)
 		}
 	}
-	for line.State != mem.LineValid {
-		if line.State == mem.LineEvicted {
-			p.Sleep(config.EvictPenalty)
-			line.Touch()
-			continue
+	for {
+		for line.State != mem.LineValid {
+			if line.State == mem.LineEvicted {
+				p.Sleep(config.EvictPenalty)
+				line.Touch()
+				continue
+			}
+			if isDone() {
+				return mem.Message{}, false
+			}
+			c.polls++
+			sim.WaitAny(p, line.OnFill, done)
 		}
-		if isDone() {
-			return mem.Message{}, false
+		p.Sleep(config.L1HitCycles)
+		// The eviction timer can fire during the hit-latency sleep; the
+		// write-back preserves the message, so loop to refetch it.
+		if line.State == mem.LineValid {
+			break
 		}
-		c.polls++
-		sim.WaitAny(p, line.OnFill, done)
 	}
 	c.popsStarted++
 	c.next = (int(k) + 1) % len(c.page.Lines)
-	p.Sleep(config.L1HitCycles)
 	line.NoteFirstUse(line.Msg)
 	msg := line.Take()
 	c.popped++
+	if c.q.probe != nil {
+		c.q.probe.Pop(c.q, c.id, p.Now(), msg)
+	}
 	return msg, true
 }
 
@@ -523,9 +566,18 @@ func (c *Consumer) TryPop(p *sim.Proc) (mem.Message, bool) {
 	c.popsStarted++
 	c.next = (c.next + 1) % len(c.page.Lines)
 	p.Sleep(config.L1HitCycles)
+	for line.State == mem.LineEvicted {
+		// Evicted during the hit-latency sleep: the write-back preserved
+		// the message, so pay the refetch and take it.
+		p.Sleep(config.EvictPenalty)
+		line.Touch()
+	}
 	line.NoteFirstUse(line.Msg)
 	msg := line.Take()
 	c.popped++
+	if c.q.probe != nil {
+		c.q.probe.Pop(c.q, c.id, p.Now(), msg)
+	}
 	return msg, true
 }
 

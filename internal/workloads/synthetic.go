@@ -1,0 +1,227 @@
+package workloads
+
+import (
+	"fmt"
+
+	"spamer"
+)
+
+// Shape parameterizes a synthetic workload: a family of small pipeline
+// chains and fan-in/fan-out patterns whose structure is entirely data —
+// producer/consumer counts, per-endpoint buffering, window sizes, burst
+// patterns, and compute grain. The verification oracle's randomized
+// campaign (internal/oracle/gen) draws Shapes at random and runs them
+// under every invariant; the struct is JSON-serializable so a failing
+// configuration can be persisted verbatim as a repro file.
+//
+// Two sub-families exist:
+//
+//   - Stages >= 2: a 1:1 pipeline chain of Stages threads connected by
+//     Stages-1 queues (the FIR idiom). Strictly 1:1, so ParallelSafe.
+//   - Stages == 0: a (Producers:Consumers)x1 fan over one shared queue,
+//     drained through a WorkCounter when Consumers > 1. Not
+//     parallel-safe (the multi-domain fabric is restricted to 1:1).
+type Shape struct {
+	// Stages selects the chain family when >= 2 (0 selects the fan).
+	Stages int `json:"stages,omitempty"`
+	// Producers/Consumers shape the fan family; both default to 1.
+	Producers int `json:"producers,omitempty"`
+	Consumers int `json:"consumers,omitempty"`
+
+	// Messages is the message count per producer endpoint (the chain's
+	// source is its single producer).
+	Messages int `json:"messages"`
+
+	// ProdWork/ConsWork are per-message compute cycles on each side.
+	ProdWork uint64 `json:"prod_work,omitempty"`
+	ConsWork uint64 `json:"cons_work,omitempty"`
+
+	// Lines sizes each consumer endpoint's line page (0 = 2).
+	Lines int `json:"lines,omitempty"`
+	// Window bounds each producer's in-flight pushes (0 = library default).
+	Window int `json:"window,omitempty"`
+
+	// Burst, when > 0, makes producers emit in bursts of Burst messages
+	// separated by BurstGap idle cycles (0 gap = 40x the per-message
+	// work) — the bursty arrival pattern that stresses delay prediction.
+	Burst    int    `json:"burst,omitempty"`
+	BurstGap uint64 `json:"burst_gap,omitempty"`
+}
+
+// Validate rejects shapes that cannot build a runnable workload.
+func (sh *Shape) Validate() error {
+	if sh.Messages <= 0 {
+		return fmt.Errorf("workloads: shape needs messages > 0")
+	}
+	if sh.Stages == 1 || sh.Stages < 0 {
+		return fmt.Errorf("workloads: shape stages must be 0 or >= 2, got %d", sh.Stages)
+	}
+	if sh.Stages >= 2 && (sh.Producers > 1 || sh.Consumers > 1) {
+		return fmt.Errorf("workloads: chain shapes are strictly 1:1")
+	}
+	if sh.Producers < 0 || sh.Consumers < 0 || sh.Lines < 0 || sh.Window < 0 || sh.Burst < 0 {
+		return fmt.Errorf("workloads: negative shape parameter")
+	}
+	return nil
+}
+
+// ParallelSafe reports whether the shape builds a strictly-1:1 workload
+// that may run on the multi-domain fabric.
+func (sh *Shape) ParallelSafe() bool { return sh.Stages >= 2 }
+
+// Name returns a compact diagnostic name encoding the shape.
+func (sh *Shape) Name() string {
+	if sh.Stages >= 2 {
+		return fmt.Sprintf("synthetic/chain-s%d-m%d", sh.Stages, sh.Messages)
+	}
+	p, c := sh.fan()
+	return fmt.Sprintf("synthetic/fan-%d:%d-m%d", p, c, sh.Messages)
+}
+
+func (sh *Shape) fan() (producers, consumers int) {
+	producers, consumers = sh.Producers, sh.Consumers
+	if producers == 0 {
+		producers = 1
+	}
+	if consumers == 0 {
+		consumers = 1
+	}
+	return producers, consumers
+}
+
+func (sh *Shape) lines() int {
+	if sh.Lines == 0 {
+		return 2
+	}
+	return sh.Lines
+}
+
+// burstGap returns the inter-burst idle time.
+func (sh *Shape) burstGap() uint64 {
+	if sh.BurstGap > 0 {
+		return sh.BurstGap
+	}
+	return 40 * (sh.ProdWork + 1)
+}
+
+// Workload materializes the shape as a runnable workload. It is not
+// registered in the benchmark registry — shapes are anonymous,
+// generated, and exist only for verification runs.
+func (sh *Shape) Workload() *Workload {
+	threads := sh.Stages
+	build := sh.buildChain
+	if sh.Stages < 2 {
+		p, c := sh.fan()
+		threads = p + c
+		build = sh.buildFan
+	}
+	return &Workload{
+		Name:         sh.Name(),
+		Desc:         "generated verification shape",
+		QueueSpec:    "synthetic",
+		Threads:      threads,
+		Build:        build,
+		ParallelSafe: sh.ParallelSafe(),
+	}
+}
+
+// produce pushes n messages with the shape's work/burst pattern. The
+// payload mixes the producer id into a multiplicative hash so corrupted
+// or cross-wired deliveries cannot alias to a valid payload by accident.
+func (sh *Shape) produce(t *spamer.Thread, tx *spamer.Producer, id, n int) {
+	for i := 0; i < n; i++ {
+		if sh.ProdWork > 0 {
+			t.Compute(sh.ProdWork)
+		}
+		if sh.Burst > 0 && i > 0 && i%sh.Burst == 0 {
+			t.Compute(sh.burstGap())
+		}
+		tx.Push(t.Proc, payloadFor(id, i))
+	}
+}
+
+// payloadFor is the canonical payload of the i-th message of producer
+// id — a Fibonacci-hash spread so every (id, i) pair maps to a distinct,
+// non-trivial 64-bit value.
+func payloadFor(id, i int) uint64 {
+	return (uint64(id)<<32 | uint64(uint32(i))) * 0x9e3779b97f4a7c15
+}
+
+func (sh *Shape) buildChain(sys *spamer.System, scale int) {
+	n := sh.Messages * scale
+	queues := make([]*spamer.Queue, sh.Stages-1)
+	for i := range queues {
+		queues[i] = sys.NewQueue(fmt.Sprintf("chain.q%d", i))
+	}
+	sys.Spawn("chain/source", func(t *spamer.Thread) {
+		tx := queues[0].NewProducer(sh.Window)
+		sh.produce(t, tx, 0, n)
+	})
+	for s := 1; s < sh.Stages-1; s++ {
+		s := s
+		sys.Spawn(fmt.Sprintf("chain/stage%d", s), func(t *spamer.Thread) {
+			rx := queues[s-1].NewConsumer(t.Proc, sh.lines())
+			tx := queues[s].NewProducer(sh.Window)
+			for i := 0; i < n; i++ {
+				rx.Pop(t.Proc)
+				if sh.ConsWork > 0 {
+					t.Compute(sh.ConsWork)
+				}
+				tx.Push(t.Proc, payloadFor(0, i))
+			}
+		})
+	}
+	sys.Spawn("chain/sink", func(t *spamer.Thread) {
+		rx := queues[len(queues)-1].NewConsumer(t.Proc, sh.lines())
+		for i := 0; i < n; i++ {
+			rx.Pop(t.Proc)
+			if sh.ConsWork > 0 {
+				t.Compute(sh.ConsWork)
+			}
+		}
+	})
+}
+
+func (sh *Shape) buildFan(sys *spamer.System, scale int) {
+	nprod, ncons := sh.fan()
+	per := sh.Messages * scale
+	total := per * nprod
+	q := sys.NewQueue("fan.q")
+	for p := 0; p < nprod; p++ {
+		p := p
+		sys.Spawn(fmt.Sprintf("fan/prod%d", p), func(t *spamer.Thread) {
+			tx := q.NewProducer(sh.Window)
+			sh.produce(t, tx, p, per)
+		})
+	}
+	if ncons == 1 {
+		sys.Spawn("fan/cons", func(t *spamer.Thread) {
+			rx := q.NewConsumer(t.Proc, sh.lines())
+			for i := 0; i < total; i++ {
+				rx.Pop(t.Proc)
+				if sh.ConsWork > 0 {
+					t.Compute(sh.ConsWork)
+				}
+			}
+		})
+		return
+	}
+	// The per-consumer share of an M:N queue is not static; drain
+	// through a shared WorkCounter, as bitonic/pipeline do.
+	wc := spamer.NewWorkCounter("fan", total)
+	for c := 0; c < ncons; c++ {
+		c := c
+		sys.Spawn(fmt.Sprintf("fan/cons%d", c), func(t *spamer.Thread) {
+			rx := q.NewConsumer(t.Proc, sh.lines())
+			for {
+				_, ok := wc.Take(rx, t.Proc)
+				if !ok {
+					return
+				}
+				if sh.ConsWork > 0 {
+					t.Compute(sh.ConsWork)
+				}
+			}
+		})
+	}
+}

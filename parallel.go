@@ -194,9 +194,11 @@ func (s *System) runParallel() Result {
 // config will use: Domains, except that failure injection (EvictEvery)
 // forces the sequential kernel — the injector mutates consumer lines of
 // every domain from one global event stream, which no conservative
-// partition can host.
+// partition can host. Fault injection (FaultDropStash) likewise forces
+// the sequential kernel: the drop counter lives on the same-domain stash
+// delivery path, which parallel systems bypass via the stash router.
 func (c Config) EffectiveDomains() int {
-	if c.EvictEvery > 0 || c.Domains < 0 {
+	if c.EvictEvery > 0 || c.FaultDropStash > 0 || c.Domains < 0 {
 		return 0
 	}
 	return c.Domains
@@ -222,11 +224,8 @@ func (s *System) EnableDispatchTrace() {
 		s.fab.trace = s.fab.pk.InstallTrace()
 		return
 	}
-	s.seqTraceOn = true
-	s.seqTrace = sim.TraceOffset
-	s.kernel.SetDispatchObserver(func(tick, seq uint64) {
-		s.seqTrace = sim.TraceFold(s.seqTrace, tick, seq)
-	})
+	s.seqRec = sim.NewTraceRecorder()
+	s.seqRec.Attach(s.kernel)
 }
 
 // DispatchTraceHash reports the accumulated dispatch-trace hash: the
@@ -239,8 +238,8 @@ func (s *System) DispatchTraceHash() uint64 {
 		}
 		return s.fab.trace.Sum()
 	}
-	if !s.seqTraceOn {
+	if s.seqRec == nil {
 		panic("spamer: DispatchTraceHash without EnableDispatchTrace")
 	}
-	return s.seqTrace
+	return s.seqRec.Sum()
 }

@@ -20,6 +20,9 @@ func (s *System) NewQueue(name string) *Queue {
 	lib := s.libs[s.nextDev%len(s.libs)]
 	s.nextDev++
 	q := &Queue{sys: s, inner: lib.NewQueue(name)}
+	if s.queueProbe != nil {
+		q.inner.SetProbe(s.queueProbe)
+	}
 	s.queues = append(s.queues, q)
 	return q
 }

@@ -124,6 +124,15 @@ type Config struct {
 	// sequential kernel; see Config.EffectiveDomains.
 	Domains int
 
+	// FaultDropStash arms a message-drop fault for verification runs: the
+	// n-th stash delivery of the primary routing device (1-based, counted
+	// across the run) acknowledges a hit without filling the target line —
+	// the classic lost-message bug the oracle's conservation invariant
+	// exists to catch. 0 disables. Fault injection forces the sequential
+	// kernel (see Config.EffectiveDomains); it exists so tests can prove
+	// the verification layer detects real loss, never for measurement.
+	FaultDropStash uint64
+
 	// EvictEvery enables failure injection: every EvictEvery cycles one
 	// consumer cache line (rotating deterministically over all
 	// endpoints) loses residency, as a cache conflict would cause. The
@@ -172,12 +181,13 @@ type System struct {
 	nextDev int
 
 	// fab is non-nil on multi-domain systems (Config.Domains >= 1).
-	fab        *fabric
-	seqTrace   uint64
-	seqTraceOn bool
+	fab    *fabric
+	seqRec *sim.TraceRecorder
 
 	threads []*Thread
 	queues  []*Queue
+
+	queueProbe vlq.Probe
 
 	onDrain []func()
 
@@ -231,6 +241,9 @@ func NewSystem(cfg Config) *System {
 		s.devs = append(s.devs, dev)
 		s.libs = append(s.libs, lib)
 	}
+	if cfg.FaultDropStash > 0 {
+		s.devs[0].FaultDropStash(cfg.FaultDropStash)
+	}
 	return s
 }
 
@@ -272,6 +285,16 @@ func (s *System) SpecBuf() *core.SpecBuf {
 	}
 	return s.specs[0]
 }
+
+// SpecBufs exposes every device's specBuf (empty on the VL baseline).
+func (s *System) SpecBufs() []*core.SpecBuf { return s.specs }
+
+// SetQueueProbe installs p on every queue subsequently created with
+// NewQueue. Must be called before the workload builds its queues; the
+// verification layer (internal/oracle) uses it to observe every message
+// entering and leaving the system. See vlq.Probe for the observer
+// contract (no event scheduling; trace-neutral).
+func (s *System) SetQueueProbe(p vlq.Probe) { s.queueProbe = p }
 
 // Spawn adds an application thread. The body runs as a simulation
 // process starting at tick 0; threads are pinned round-robin to the
