@@ -8,8 +8,12 @@ GO ?= go
 # a PR materially changes the benchmark surface and commit the new file.
 # BENCH_BASELINE is the prior snapshot; bench-ci prints a benchstat-style
 # delta against it (informational, never blocking).
-BENCH_JSON ?= BENCH_4.json
-BENCH_BASELINE ?= BENCH_3.json
+BENCH_JSON ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_4.json
+# MillionMessage pins b.N to the delivered message count; the dedicated
+# pass below records the true million-message run in $(BENCH_JSON)
+# (bench-ci uses a shorter pass — allocs/op is exact at any count).
+MM_ITERS ?= 1000000x
 
 all: check
 
@@ -53,17 +57,24 @@ fuzz-smoke:
 # stream also feeds spamer-benchjson, which records name -> ns/op and
 # allocs/op into $(BENCH_JSON) so perf is diffable across PRs.
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem ./... | $(GO) run ./cmd/spamer-benchjson -out $(BENCH_JSON)
+	( $(GO) test -run=NONE -bench=. -benchmem ./... && \
+	  $(GO) test -run=NONE -bench=MillionMessage -benchmem -benchtime=$(MM_ITERS) . ) \
+	| $(GO) run ./cmd/spamer-benchjson -out $(BENCH_JSON)
 
-# Quick variant for CI: the kernel and experiment-layer benchmarks only,
-# at a fixed small iteration count (SpecRun and HarnessMatrix are full
-# end-to-end sweeps at 0.2-1 s/op, so 10x keeps the step under a
-# minute; allocs/op — the number this step guards — is exact at any
-# iteration count). Non-blocking in ci.yml — it surfaces hot-path
-# regressions in the job log without gating merges on noisy
-# shared-runner timings.
+# Quick variant for CI: the kernel and experiment-layer benchmarks plus
+# the MillionMessage hot path, gated (-gate: >10% SpecRun regression,
+# any allocs/op increase, or a MillionMessage sequential alloc fails
+# the step). Iteration counts are per-package: the ns-scale sim
+# microbenchmarks need 10000x so one-time setup allocations amortize
+# below one per op (at 10x they read as false allocs/op regressions);
+# SpecRun and HarnessMatrix are 0.2-1 s/op end-to-end sweeps, so 10x
+# keeps the step under a minute. Non-blocking in ci.yml — the gate
+# marks the job log without blocking merges on shared-runner noise.
 bench-ci:
-	$(GO) test -run=NONE -bench=. -benchmem -benchtime=10x ./internal/sim ./internal/experiments | $(GO) run ./cmd/spamer-benchjson -out bench-ci.json -baseline $(BENCH_BASELINE)
+	( $(GO) test -run=NONE -bench=. -benchmem -benchtime=10000x ./internal/sim && \
+	  $(GO) test -run=NONE -bench=. -benchmem -benchtime=10x ./internal/experiments && \
+	  $(GO) test -run=NONE -bench=MillionMessage -benchmem -benchtime=200000x . ) \
+	| $(GO) run ./cmd/spamer-benchjson -out bench-ci.json -baseline $(BENCH_BASELINE) -gate
 
 # Regenerate every evaluation artifact to stdout.
 repro: figures trace sweep latency area

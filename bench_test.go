@@ -15,14 +15,19 @@
 //	BenchmarkInlineOpt          — §4.3 inlining study
 //	BenchmarkArea               — §4.5 area/power estimation
 //	BenchmarkWorkload/<name>/<alg> — one run per matrix cell
+//	BenchmarkMillionMessage     — open-loop traffic at message scale
+//	                              (b.N = delivered messages; run with
+//	                              -benchtime=1000000x for the full case)
 package spamer_test
 
 import (
+	"fmt"
 	"testing"
 
 	"spamer"
 	"spamer/internal/energy"
 	"spamer/internal/experiments"
+	"spamer/internal/traffic"
 	"spamer/internal/tuner"
 	"spamer/internal/workloads"
 )
@@ -218,5 +223,40 @@ func BenchmarkWorkload(b *testing.B) {
 				b.ReportMetric(float64(res.Pushed), "messages")
 			})
 		}
+	}
+}
+
+// BenchmarkMillionMessage drives the open-loop traffic engine at
+// message scale: a 2-stage chain paced by a seeded Poisson population
+// of 16 users. b.N is the delivered message count — ns/op is the cost
+// per message, so one million-message run is `-benchtime=1000000x`.
+// The sequential sub-benchmark must report 0 allocs/op in steady state
+// (setup allocations amortize below one per million messages); the
+// domains-N variants run the identical schedule on the conservative
+// parallel kernel, whose per-quantum barrier bookkeeping is allowed to
+// allocate.
+func BenchmarkMillionMessage(b *testing.B) {
+	run := func(b *testing.B, domains int) {
+		b.ReportAllocs()
+		sh := workloads.Shape{
+			Stages: 2, Messages: b.N, Lines: 4, Window: 8,
+			Arrival: &traffic.Spec{Seed: 0xB6, MeanGap: 400, Users: 16},
+		}
+		w := sh.Workload()
+		cfg := spamer.Config{Algorithm: spamer.AlgTuned, Domains: domains, Deadline: 1 << 40}
+		b.ResetTimer()
+		res := w.Run(cfg, 1)
+		b.StopTimer()
+		if res.Popped != uint64(b.N) {
+			b.Fatalf("delivered %d messages, want %d", res.Popped, b.N)
+		}
+		b.ReportMetric(float64(res.Ticks)/float64(b.N), "sim-cycles/msg")
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 0) })
+	for _, d := range []int{2, 4, 8} {
+		d := d
+		// "domains=N", not "domains-N": spamer-benchjson strips a
+		// trailing -<digits> as the GOMAXPROCS suffix.
+		b.Run(fmt.Sprintf("domains=%d", d), func(b *testing.B) { run(b, d) })
 	}
 }

@@ -17,6 +17,14 @@
 // (ns/op and allocs/op, old vs new, percent change) to stderr. The
 // comparison is informational — it never affects the exit status — so
 // CI can surface regressions without gating merges on noisy timings.
+//
+// -gate turns the comparison into a check: the exit status becomes
+// nonzero when a SpecRun benchmark regresses more than 10% in ns/op
+// against the baseline, when any benchmark present in both runs
+// allocates more per op than it used to, or when the MillionMessage
+// sequential hot path allocates at all. The bench-ci step runs with
+// -gate under continue-on-error, so the failure marks the job log
+// without blocking merges on shared-runner timing noise.
 package main
 
 import (
@@ -44,6 +52,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 func main() {
 	out := flag.String("out", "BENCH.json", "output JSON path")
 	baseline := flag.String("baseline", "", "prior BENCH_<n>.json to diff against (delta table on stderr; never fails the run)")
+	gate := flag.Bool("gate", false, "exit nonzero on >10% SpecRun ns/op regression vs -baseline, any allocs/op increase, or a MillionMessage sequential alloc")
 	flag.Parse()
 
 	entries := map[string]Entry{}
@@ -110,25 +119,67 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "spamer-benchjson: wrote %d benchmarks to %s\n", len(entries), *out)
+	var old map[string]Entry
 	if *baseline != "" {
-		printDeltas(*baseline, entries)
+		old = printDeltas(*baseline, entries)
+	}
+	if *gate {
+		if bad := gateViolations(old, entries); len(bad) > 0 {
+			for _, v := range bad {
+				fmt.Fprintln(os.Stderr, "spamer-benchjson: GATE:", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "spamer-benchjson: gate passed")
 	}
 }
 
+// gateViolations applies the non-blocking perf gate: SpecRun ns/op may
+// not regress more than 10% against the baseline, no benchmark may gain
+// allocs/op, and the MillionMessage sequential hot path must stay
+// allocation-free (checked even without a baseline entry — the
+// benchmark is newer than some baselines).
+func gateViolations(old, entries map[string]Entry) []string {
+	var bad []string
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := entries[name]
+		if strings.Contains(name, "MillionMessage/sequential") && e.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("%s allocates %.0f/op; the sequential hot path must be allocation-free", name, e.AllocsPerOp))
+		}
+		o, ok := old[name]
+		if !ok {
+			continue
+		}
+		if strings.Contains(name, "SpecRun") && o.NsPerOp > 0 && e.NsPerOp > o.NsPerOp*1.10 {
+			bad = append(bad, fmt.Sprintf("%s regressed %.1f%% ns/op (%.0f -> %.0f)", name, (e.NsPerOp-o.NsPerOp)/o.NsPerOp*100, o.NsPerOp, e.NsPerOp))
+		}
+		if e.AllocsPerOp > o.AllocsPerOp {
+			bad = append(bad, fmt.Sprintf("%s allocs/op rose %.0f -> %.0f", name, o.AllocsPerOp, e.AllocsPerOp))
+		}
+	}
+	return bad
+}
+
 // printDeltas renders a benchstat-style comparison of entries against a
-// prior BENCH_<n>.json on stderr. Failures to read or parse the
-// baseline are reported and swallowed: the delta table is a diagnostic,
-// not a gate.
-func printDeltas(path string, entries map[string]Entry) {
+// prior BENCH_<n>.json on stderr and returns the parsed baseline for
+// the optional gate. Failures to read or parse the baseline are
+// reported and swallowed: the delta table is a diagnostic; only -gate
+// turns the result into an exit status.
+func printDeltas(path string, entries map[string]Entry) map[string]Entry {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spamer-benchjson: baseline:", err)
-		return
+		return nil
 	}
 	var old map[string]Entry
 	if err := json.Unmarshal(data, &old); err != nil {
 		fmt.Fprintln(os.Stderr, "spamer-benchjson: baseline:", err)
-		return
+		return nil
 	}
 	names := make([]string, 0, len(entries))
 	for name := range entries {
@@ -174,4 +225,5 @@ func printDeltas(path string, entries map[string]Entry) {
 	for _, name := range removed {
 		fmt.Fprintf(os.Stderr, "%-64s removed\n", name)
 	}
+	return old
 }

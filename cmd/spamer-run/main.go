@@ -20,6 +20,16 @@
 // repeat (determinism check), label,
 // extensions{allow_extended_workloads}.
 //
+// Instead of a named benchmark, a spec may carry an anonymous
+// synthetic workload: shape{stages|producers/consumers, messages,
+// prod_work, cons_work, lines, window, burst, burst_gap} with an
+// optional open-loop arrival process
+// arrival{process: poisson|mmpp|pareto, seed, mean_gap, users,
+// bursty_gap, mean_dwell, alpha, max_gap, storm_every, storm_burst,
+// ramp_period, ramp_peak} — see EXPERIMENTS.md, "Open-loop workloads".
+// Open-loop chains are parallel-safe (domains > 0 allowed); arrival
+// timelines are deterministic in (seed, endpoint).
+//
 // -domains N overrides the domains field of every spec in the batch
 // (parallel-safe benchmarks only; the spec validator rejects the rest).
 package main

@@ -36,6 +36,15 @@ import (
 // specs with different labels produce different results.
 func (s Spec) Canonical() Spec {
 	c := s
+	if c.Shape != nil {
+		// Shape specs: pin the benchmark name, canonicalize the shape
+		// (default spellings and the nested arrival spec collapse), and
+		// drop extensions — the shape is the workload, no grant needed.
+		c.Benchmark = "synthetic"
+		sh := c.Shape.Canonical()
+		c.Shape = &sh
+		c.Extensions = nil
+	}
 	if len(c.Algorithms) == 0 {
 		c.Algorithms = spamer.Configs()
 	} else {

@@ -23,20 +23,21 @@ import (
 //	  "tuned": {"zeta": 512, "tau": 96, "delta": 64, "alpha": 1, "beta": 2}
 //	}
 type Spec struct {
-	Benchmark  string      `json:"benchmark"`
-	Algorithms []string    `json:"algorithms,omitempty"` // default: all four
-	Scale      int         `json:"scale,omitempty"`
-	HopLatency uint64      `json:"hop_latency,omitempty"`
-	Channels   int         `json:"bus_channels,omitempty"`
-	Devices    int         `json:"devices,omitempty"`
-	NoInline   bool        `json:"no_inline,omitempty"`
-	SRDEntries int         `json:"srd_entries,omitempty"`
-	Domains    int         `json:"domains,omitempty"` // >0: multi-domain kernel with this many worker lanes
-	Tuned      *TunedSpec  `json:"tuned,omitempty"`
-	Repeat     int         `json:"repeat,omitempty"` // determinism check
-	Label      string      `json:"label,omitempty"`
-	Fault      *FaultSpec  `json:"fault,omitempty"` // verification-only fault injection
-	Extensions *Extensions `json:"extensions,omitempty"`
+	Benchmark  string           `json:"benchmark"`
+	Shape      *workloads.Shape `json:"shape,omitempty"`      // anonymous synthetic workload; Benchmark "" or "synthetic"
+	Algorithms []string         `json:"algorithms,omitempty"` // default: all four
+	Scale      int              `json:"scale,omitempty"`
+	HopLatency uint64           `json:"hop_latency,omitempty"`
+	Channels   int              `json:"bus_channels,omitempty"`
+	Devices    int              `json:"devices,omitempty"`
+	NoInline   bool             `json:"no_inline,omitempty"`
+	SRDEntries int              `json:"srd_entries,omitempty"`
+	Domains    int              `json:"domains,omitempty"` // >0: multi-domain kernel with this many worker lanes
+	Tuned      *TunedSpec       `json:"tuned,omitempty"`
+	Repeat     int              `json:"repeat,omitempty"` // determinism check
+	Label      string           `json:"label,omitempty"`
+	Fault      *FaultSpec       `json:"fault,omitempty"` // verification-only fault injection
+	Extensions *Extensions      `json:"extensions,omitempty"`
 }
 
 // FaultSpec arms deterministic fault injection. It exists for the
@@ -84,7 +85,14 @@ type Outcome struct {
 
 // Validate checks a spec before running.
 func (s *Spec) Validate() error {
-	if s.Benchmark == "" {
+	if s.Shape != nil {
+		if s.Benchmark != "" && s.Benchmark != "synthetic" {
+			return fmt.Errorf("experiments: shape specs take benchmark \"synthetic\" (or empty), got %q", s.Benchmark)
+		}
+		if err := s.Shape.Validate(); err != nil {
+			return err
+		}
+	} else if s.Benchmark == "" {
 		return fmt.Errorf("experiments: spec missing benchmark")
 	}
 	if _, ok := s.workload(); !ok {
@@ -104,7 +112,7 @@ func (s *Spec) Validate() error {
 	if s.Domains > 0 {
 		w, _ := s.workload()
 		if !w.ParallelSafe {
-			return fmt.Errorf("experiments: benchmark %q is not parallel-safe (domains must be 0)", s.Benchmark)
+			return fmt.Errorf("experiments: benchmark %q is not parallel-safe (domains must be 0)", w.Name)
 		}
 		if s.Fault != nil && s.Fault.DropStash > 0 {
 			return fmt.Errorf("experiments: fault injection requires the sequential kernel (domains must be 0)")
@@ -123,6 +131,9 @@ func validAlg(a string) bool {
 }
 
 func (s *Spec) workload() (*workloads.Workload, bool) {
+	if s.Shape != nil {
+		return s.Shape.Workload(), true
+	}
 	if w, ok := workloads.ByName(s.Benchmark); ok {
 		return w, true
 	}
@@ -207,9 +218,13 @@ func (s *Spec) Run() ([]Outcome, error) {
 // (the caller normalizes SpeedupOverVL once its baseline is known).
 func (s *Spec) runAlg(w *workloads.Workload, alg string, scale int) (Outcome, spamer.Result) {
 	res := w.Run(s.systemConfig(alg), scale)
+	bench := s.Benchmark
+	if s.Shape != nil {
+		bench = w.Name // shapes are anonymous; report their diagnostic name
+	}
 	o := Outcome{
 		Label:          s.Label,
-		Benchmark:      s.Benchmark,
+		Benchmark:      bench,
 		Algorithm:      alg,
 		Ticks:          res.Ticks,
 		Milliseconds:   res.MS,

@@ -99,6 +99,7 @@ type Sender struct {
 	i    *ISA
 	kind noc.PacketKind
 	q    []senderOp
+	head int // q[:head] are accepted; the array is reused, not resliced away
 	busy bool
 	// deliverFn/replayFn are bound once; the in-flight attempt count
 	// rides in the event argument, so issuing and replaying device
@@ -107,9 +108,15 @@ type Sender struct {
 	replayFn  func(uint64)
 }
 
+// senderOp is one queued device write in data form — the operands are
+// stored, not captured in a closure, so the push/fetch hot path
+// allocates nothing per message.
 type senderOp struct {
-	attempt  func() bool // delivery-time device write; true = accepted
+	sqi      vl.SQI
+	msg      mem.Message // push payload
+	target   mem.Addr    // fetch target
 	accepted func()      // runs at the acceptance tick; may be nil
+	push     bool        // true = vl_push, false = vl_fetch
 }
 
 // NewPushSender returns the ordered vl_push channel of one producer
@@ -134,12 +141,22 @@ func newSender(i *ISA, kind noc.PacketKind) *Sender {
 }
 
 func (s *Sender) enqueue(op senderOp) {
+	if s.head > 0 && len(s.q) == cap(s.q) {
+		// Compact the accepted prefix away before growing, so a sender
+		// that never fully drains still reaches a steady-state array.
+		n := copy(s.q, s.q[s.head:])
+		for i := n; i < len(s.q); i++ {
+			s.q[i] = senderOp{}
+		}
+		s.q = s.q[:n]
+		s.head = 0
+	}
 	s.q = append(s.q, op)
 	s.issue()
 }
 
 func (s *Sender) issue() {
-	if s.busy || len(s.q) == 0 {
+	if s.busy || s.head == len(s.q) {
 		return
 	}
 	s.busy = true
@@ -152,12 +169,22 @@ func (s *Sender) deliver(attempt int) {
 
 // delivered runs at the packet's arrival tick. The head op is read here
 // rather than captured at issue time: the busy flag guarantees a single
-// in-flight delivery per sender, and enqueue only appends, so q[0] at
+// in-flight delivery per sender, and enqueue only appends, so q[head] at
 // arrival is the op that was issued.
 func (s *Sender) delivered(attempt uint64) {
-	op := s.q[0]
-	if op.attempt() {
-		s.q = s.q[1:]
+	op := s.q[s.head]
+	var ok bool
+	if op.push {
+		ok = s.i.dev.Push(op.sqi, op.msg)
+	} else {
+		ok = s.i.dev.Fetch(op.sqi, op.target)
+	}
+	if ok {
+		s.q[s.head] = senderOp{}
+		s.head++
+		if s.head == len(s.q) {
+			s.q, s.head = s.q[:0], 0
+		}
 		s.busy = false
 		if op.accepted != nil {
 			op.accepted()
@@ -176,7 +203,7 @@ func (s *Sender) delivered(attempt uint64) {
 func (s *Sender) replay(attempt uint64) { s.deliver(int(attempt)) }
 
 // Pending reports queued-but-unaccepted writes (tests/diagnostics).
-func (s *Sender) Pending() int { return len(s.q) }
+func (s *Sender) Pending() int { return len(s.q) - s.head }
 
 // Push models vl_push through the endpoint's ordered sender: copy the
 // selected line's content to the routing device without changing the
@@ -187,10 +214,7 @@ func (i *ISA) Push(p *sim.Proc, port Port, sqi vl.SQI, msg mem.Message, accepted
 	snd := port.(*Sender)
 	i.stats.Pushes++
 	p.Sleep(config.VLPushCycles)
-	snd.enqueue(senderOp{
-		attempt:  func() bool { return i.dev.Push(sqi, msg) },
-		accepted: accepted,
-	})
+	snd.enqueue(senderOp{sqi: sqi, msg: msg, accepted: accepted, push: true})
 }
 
 // Fetch models vl_fetch through the endpoint's ordered sender: write the
@@ -200,9 +224,7 @@ func (i *ISA) Fetch(p *sim.Proc, port Port, sqi vl.SQI, target mem.Addr) {
 	snd := port.(*Sender)
 	i.stats.Fetches++
 	p.Sleep(config.VLFetchCycles)
-	snd.enqueue(senderOp{
-		attempt: func() bool { return i.dev.Fetch(sqi, target) },
-	})
+	snd.enqueue(senderOp{sqi: sqi, target: target})
 }
 
 // Register models spamer_register: "a vl_fetch instruction writing to

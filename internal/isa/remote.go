@@ -78,6 +78,7 @@ type RemoteSender struct {
 	id       int
 	kind     noc.PacketKind
 	q        []remoteOp
+	head     int // q[:head] are accepted; the array is reused, not resliced away
 	busy     bool
 	attempts uint64
 	replayFn func(uint64)
@@ -105,15 +106,25 @@ func (r *RemoteISA) NewPushPort() Port { return r.newSender(noc.PktPush) }
 func (r *RemoteISA) NewFetchPort() Port { return r.newSender(noc.PktFetchReq) }
 
 // Pending reports queued-but-unaccepted writes.
-func (s *RemoteSender) Pending() int { return len(s.q) }
+func (s *RemoteSender) Pending() int { return len(s.q) - s.head }
 
 func (s *RemoteSender) enqueue(op remoteOp) {
+	if s.head > 0 && len(s.q) == cap(s.q) {
+		// Compact the accepted prefix away before growing, so a sender
+		// that never fully drains still reaches a steady-state array.
+		n := copy(s.q, s.q[s.head:])
+		for i := n; i < len(s.q); i++ {
+			s.q[i] = remoteOp{}
+		}
+		s.q = s.q[:n]
+		s.head = 0
+	}
 	s.q = append(s.q, op)
 	s.issue()
 }
 
 func (s *RemoteSender) issue() {
-	if s.busy || len(s.q) == 0 {
+	if s.busy || s.head == len(s.q) {
 		return
 	}
 	s.busy = true
@@ -124,7 +135,7 @@ func (s *RemoteSender) issue() {
 // the hub at its arrival tick. The arrival is at least hop+serialization
 // past now, so it always satisfies the parallel kernel's lookahead.
 func (s *RemoteSender) send() {
-	op := &s.q[0]
+	op := &s.q[s.head]
 	arrival := s.r.bus.Occupy(s.kind)
 	if op.push {
 		s.r.post(s.r.src, s.r.hubDom, arrival, s.r.execFn,
@@ -146,8 +157,12 @@ func (s *RemoteSender) delivered(ok bool) {
 		s.r.k.AfterFunc(RetryBackoffCycles, s.replayFn, 0)
 		return
 	}
-	op := s.q[0]
-	s.q = s.q[1:]
+	op := s.q[s.head]
+	s.q[s.head] = remoteOp{}
+	s.head++
+	if s.head == len(s.q) {
+		s.q, s.head = s.q[:0], 0
+	}
 	s.busy = false
 	s.attempts = 0
 	if op.accepted != nil {

@@ -190,6 +190,27 @@ func shrinkSteps(cs gen.Case) []gen.Case {
 		if sh.Burst > 0 {
 			add(func(c *gen.Case) { c.Shape.Burst, c.Shape.BurstGap = 0, 0 })
 		}
+		if sh.Arrival != nil {
+			// Peel the overlays first (a storm or ramp may be the
+			// trigger), then the whole arrival process.
+			if sh.Arrival.StormBurst > 0 {
+				add(func(c *gen.Case) { c.Shape.Arrival.StormEvery, c.Shape.Arrival.StormBurst = 0, 0 })
+			}
+			if sh.Arrival.RampPeriod > 0 {
+				add(func(c *gen.Case) { c.Shape.Arrival.RampPeriod, c.Shape.Arrival.RampPeak = 0, 0 })
+			}
+			if sh.Arrival.Users > 1 {
+				add(func(c *gen.Case) { c.Shape.Arrival.Users = 1 })
+			}
+			if sh.Arrival.Process != "" && sh.Arrival.Process != "poisson" {
+				add(func(c *gen.Case) {
+					c.Shape.Arrival.Process = ""
+					c.Shape.Arrival.BurstyGap, c.Shape.Arrival.MeanDwell = 0, 0
+					c.Shape.Arrival.Alpha, c.Shape.Arrival.MaxGap = 0, 0
+				})
+			}
+			add(func(c *gen.Case) { c.Shape.Arrival = nil })
+		}
 		if sh.ProdWork > 0 || sh.ConsWork > 0 {
 			add(func(c *gen.Case) { c.Shape.ProdWork, c.Shape.ConsWork = 0, 0 })
 		}
@@ -241,6 +262,10 @@ func cloneCase(cs gen.Case) gen.Case {
 	c := cs
 	if cs.Shape != nil {
 		sh := *cs.Shape
+		if sh.Arrival != nil {
+			a := *sh.Arrival
+			sh.Arrival = &a
+		}
 		c.Shape = &sh
 	}
 	if cs.Spec.Tuned != nil {

@@ -13,6 +13,7 @@ import (
 
 	"spamer"
 	"spamer/internal/experiments"
+	"spamer/internal/traffic"
 	"spamer/internal/workloads"
 )
 
@@ -153,7 +154,10 @@ func (g *Gen) FanCase() Case {
 	return c
 }
 
-// chain draws a parallel-safe 1:1 pipeline shape.
+// chain draws a parallel-safe 1:1 pipeline shape. One in three chains is
+// open-loop: a seeded arrival process replaces the closed-loop push
+// cadence, so the cross-kernel differential check covers the traffic
+// engine at every domain count for free.
 func (g *Gen) chain() *workloads.Shape {
 	sh := &workloads.Shape{
 		Stages:   2 + g.rng.Intn(4),      // 2..5 threads
@@ -163,13 +167,18 @@ func (g *Gen) chain() *workloads.Shape {
 		Lines:    1 + g.rng.Intn(4),      // 1..4 consumer lines
 		Window:   g.rng.Intn(5),          // 0 (default) .. 4
 	}
-	if g.rng.Intn(3) == 0 {
+	switch g.rng.Intn(3) {
+	case 0:
 		sh.Burst = 2 + g.rng.Intn(7) // bursty arrivals
+	case 1:
+		sh.Arrival = g.arrival()
 	}
 	return sh
 }
 
-// fan draws an M:N fan shape (sequential-only).
+// fan draws an M:N fan shape (sequential-only). Open-loop fans model
+// incast: several producers on independent arrival schedules converging
+// on one queue.
 func (g *Gen) fan() *workloads.Shape {
 	sh := &workloads.Shape{
 		Producers: 1 + g.rng.Intn(4), // 1..4
@@ -180,10 +189,51 @@ func (g *Gen) fan() *workloads.Shape {
 		Lines:     1 + g.rng.Intn(4),
 		Window:    g.rng.Intn(5),
 	}
-	if g.rng.Intn(3) == 0 {
+	switch g.rng.Intn(3) {
+	case 0:
 		sh.Burst = 2 + g.rng.Intn(7)
+	case 1:
+		sh.Arrival = g.arrival()
 	}
 	return sh
+}
+
+// arrival draws a random open-loop arrival spec. Mean gaps span
+// saturation (every arrival queues behind the previous) through sparse
+// (the schedule paces the run); storms and diurnal ramps appear
+// occasionally so campaigns cover the overlay paths too.
+func (g *Gen) arrival() *traffic.Spec {
+	sp := &traffic.Spec{
+		Seed:    g.rng.Uint64(),
+		MeanGap: uint64(5 + g.rng.Intn(300)), // 5..304 ticks
+	}
+	switch g.rng.Intn(3) {
+	case 0: // poisson (default spelling exercised too)
+		if g.rng.Intn(2) == 0 {
+			sp.Process = traffic.Poisson
+		}
+	case 1:
+		sp.Process = traffic.MMPP
+		if g.rng.Intn(2) == 0 {
+			sp.BurstyGap = 1 + uint64(g.rng.Intn(20))
+			sp.MeanDwell = float64(4 + g.rng.Intn(40))
+		}
+	case 2:
+		sp.Process = traffic.Pareto
+		sp.Alpha = 1.1 + float64(g.rng.Intn(20))/10 // 1.1..3.0
+	}
+	if g.rng.Intn(3) == 0 {
+		sp.Users = 1 + g.rng.Intn(32)
+	}
+	if g.rng.Intn(4) == 0 {
+		sp.StormEvery = uint64(500 + g.rng.Intn(4000))
+		sp.StormBurst = 2 + g.rng.Intn(12)
+	}
+	if g.rng.Intn(4) == 0 {
+		sp.RampPeriod = uint64(1000 + g.rng.Intn(8000))
+		sp.RampPeak = float64(2 + g.rng.Intn(6))
+	}
+	return sp
 }
 
 // named picks a real Table 2 benchmark. ping-pong and incast dominate

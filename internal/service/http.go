@@ -68,7 +68,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining: not admitting jobs")
 		return
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds()+0.5)))
+		// Clamp to >= 1s: a sub-second RetryAfter used to round down to
+		// "Retry-After: 0", telling saturated clients to hammer the
+		// server immediately — amplifying the overload the 429 sheds.
+		secs := int(s.opts.RetryAfter.Seconds() + 0.5)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests, "queue full (depth %d): retry later", s.opts.QueueDepth)
 		return
 	case err != nil:

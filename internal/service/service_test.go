@@ -191,6 +191,40 @@ func TestQueueFullReturns429(t *testing.T) {
 	}
 }
 
+// TestRetryAfterSubSecondClamp is the regression test for the
+// Retry-After rounding bug: a sub-second RetryAfter option used to emit
+// "Retry-After: 0", telling saturated clients to retry immediately. The
+// header must clamp to at least one second.
+func TestRetryAfterSubSecondClamp(t *testing.T) {
+	gate := make(chan struct{})
+	_, ts := newTestServer(t, Options{
+		QueueDepth:  1,
+		JobWorkers:  1,
+		RetryAfter:  200 * time.Millisecond,
+		hookRunning: func(*job) { <-gate },
+	})
+	defer close(gate)
+
+	_, st := submit(t, ts, fastSpec)
+	waitState(t, ts, st.ID, StateRunning)
+	code, _ := submit(t, ts, `{"benchmark":"firewall","algorithms":["vl"]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit = %d, want 202", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"benchmark":"halo","algorithms":["vl"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q with 200ms option, want %q (sub-second must clamp up, never 0)", ra, "1")
+	}
+}
+
 // TestDrainCompletesInFlight: Drain stops admission immediately (503,
 // healthz flips) but lets the gated in-flight job finish.
 func TestDrainCompletesInFlight(t *testing.T) {
@@ -373,5 +407,37 @@ func TestRejectDomainsOnUnsafeBenchmark(t *testing.T) {
 	code, _ := submit(t, ts, `{"benchmark":"incast","domains":2}`)
 	if code != http.StatusBadRequest {
 		t.Fatalf("incast domains=2 submit = %d, want 400", code)
+	}
+}
+
+// TestOpenLoopShapeSpecServed: an anonymous open-loop shape spec runs
+// through the service tier end-to-end, and a byte-different default
+// spelling of the same shape is answered from the result cache — the
+// canonical hash collapses shape and arrival default spellings.
+func TestOpenLoopShapeSpecServed(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	shapeSpec := `{"shape":{"stages":2,"messages":60,
+		"arrival":{"process":"poisson","seed":9,"mean_gap":40,"users":1}},
+		"algorithms":["vl"]}`
+	code, st := submit(t, ts, shapeSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	final := waitState(t, ts, st.ID, StateDone)
+	if len(final.Outcomes) != 1 {
+		t.Fatalf("outcomes: %+v", final.Outcomes)
+	}
+	if o := final.Outcomes[0]; !strings.HasPrefix(o.Benchmark, "synthetic/chain-s2-m60-ol:poisson") {
+		t.Fatalf("outcome benchmark %q does not carry the shape name", o.Benchmark)
+	}
+	// Same shape, default spellings omitted and benchmark spelled out.
+	respelled := `{"benchmark":"synthetic","algorithms":["vl"],
+		"shape":{"stages":2,"messages":60,"arrival":{"seed":9,"mean_gap":40}}}`
+	code, st2 := submit(t, ts, respelled)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit = %d, want 200 (cache hit)", code)
+	}
+	if !st2.Cached || st2.SpecHash != final.SpecHash {
+		t.Fatalf("resubmit status: %+v (want cached, hash %s)", st2, final.SpecHash)
 	}
 }

@@ -71,6 +71,53 @@ func (ib *inboxPool) put(m crossMsg) uint64 {
 	return uint64(len(ib.slots) - 1)
 }
 
+// inboxShrinkFloor is the slot count below which a pool is never trimmed:
+// small pools are noise, and keeping a modest floor avoids regrow churn
+// right after a shrink.
+const inboxShrinkFloor = 64
+
+// shrink trims the pool once occupancy falls below a quarter of the
+// grown size, so one incast storm does not inflate a long-lived kernel
+// forever. Called only at quantum barriers (before injection), when no
+// lane is executing. Occupied slots cannot move — scheduled deliveries
+// hold their indexes — so the trim drops free slots from the tail:
+// deliverSlot zeroes a slot's fn on release, making fn == nil the
+// free-slot marker. An idle pool (occupancy 0) releases its arrays
+// entirely.
+func (ib *inboxPool) shrink() {
+	n := len(ib.slots)
+	if n <= inboxShrinkFloor {
+		return
+	}
+	occ := n - len(ib.free)
+	if occ*4 >= n {
+		return
+	}
+	if occ == 0 {
+		ib.slots, ib.free = nil, nil
+		return
+	}
+	for n > inboxShrinkFloor && n > occ*2 && ib.slots[n-1].fn == nil {
+		n--
+	}
+	if n == len(ib.slots) {
+		return
+	}
+	slots := make([]crossMsg, n)
+	copy(slots, ib.slots[:n])
+	ib.slots = slots
+	w := 0
+	for _, f := range ib.free {
+		if int(f) < n {
+			ib.free[w] = f
+			w++
+		}
+	}
+	free := make([]int32, w)
+	copy(free, ib.free[:w])
+	ib.free = free
+}
+
 // ParallelKernel runs a fixed set of domain kernels under conservative
 // quantum synchronization. Construct with NewParallel, attach model state
 // to the per-domain kernels (Domain), and drive with Run.
@@ -164,6 +211,9 @@ func (pk *ParallelKernel) deliverSlot(d int, slot uint64) {
 // violating it would let a quantum observe a message sent within it, so
 // Post panics loudly instead.
 func (pk *ParallelKernel) Post(src, dst int, tick uint64, fn func(a0, a1, a2, a3 uint64), a0, a1, a2, a3 uint64) {
+	if fn == nil {
+		panic("sim: cross-domain post with nil fn")
+	}
 	k := pk.doms[src]
 	if tick < k.now+pk.lookahead {
 		panic(fmt.Sprintf("sim: cross-domain post from %d to %d at tick %d violates lookahead %d (src now %d)",
@@ -189,13 +239,16 @@ func (pk *ParallelKernel) minNextTick() (uint64, bool) {
 	return min, found
 }
 
-// runDomains executes every listed domain that has work before the
-// horizon up to (and including) horizon-1.
-func (pk *ParallelKernel) runDomains(doms []int, horizon uint64) {
+// runDomains executes every listed domain that has work in the quantum
+// window, up to (and including) the inclusive limit tick. Taking the
+// window end as an inclusive bound — rather than an exclusive horizon
+// that callers subtract one from — keeps the arithmetic safe for
+// far-future open-loop arrivals near the top of the uint64 tick range.
+func (pk *ParallelKernel) runDomains(doms []int, limit uint64) {
 	for _, d := range doms {
 		k := pk.doms[d]
-		if t, ok := k.NextTick(); ok && t < horizon {
-			k.RunUntil(horizon - 1)
+		if t, ok := k.NextTick(); ok && t <= limit {
+			k.RunUntil(limit)
 		}
 	}
 }
@@ -206,6 +259,12 @@ func (pk *ParallelKernel) runDomains(doms []int, horizon uint64) {
 // numbers, so the canonical sort makes same-tick cross deliveries
 // dispatch identically for every worker count.
 func (pk *ParallelKernel) mergeOutboxes() {
+	// Barrier point: no lane is executing, so inbox pools are safe to
+	// trim. Shrinking before injection sees the post-quantum occupancy —
+	// a storm's slots have just been delivered and freed.
+	for d := range pk.inbox {
+		pk.inbox[d].shrink()
+	}
 	m := pk.merged[:0]
 	for src := range pk.outbox {
 		m = append(m, pk.outbox[src]...)
@@ -247,18 +306,18 @@ func crossLess(a, b *crossMsg) bool {
 }
 
 // laneWorker is one persistent execution lane: it parks on req, runs its
-// domains to the received horizon, and reports any recovered panic.
+// domains to the received window limit, and reports any recovered panic.
 type laneWorker struct {
 	req  chan uint64
 	resp chan any
 }
 
 func (pk *ParallelKernel) laneLoop(w *laneWorker, doms []int) {
-	for horizon := range w.req {
+	for limit := range w.req {
 		var pv any
 		func() {
 			defer func() { pv = recover() }()
-			pk.runDomains(doms, horizon)
+			pk.runDomains(doms, limit)
 		}()
 		w.resp <- pv
 	}
@@ -306,7 +365,17 @@ func (pk *ParallelKernel) Run() {
 		if !ok {
 			break
 		}
-		horizon := start + pk.lookahead
+		// limit is the quantum window's inclusive end: [start, limit].
+		// The unchecked form start+lookahead-1 wraps for far-future
+		// open-loop arrivals near the top of the tick range, which would
+		// either run domains unbounded (conservative violation) or mark
+		// no lane runnable and livelock the barrier loop; clamp to the
+		// end of time instead — no cross message can be scheduled past
+		// it, so the final window is safe to run to completion.
+		limit := start + (pk.lookahead - 1)
+		if limit < start {
+			limit = ^uint64(0)
+		}
 		pk.executedQuanta++
 
 		// Mark lanes with work this quantum.
@@ -315,7 +384,7 @@ func (pk *ParallelKernel) Run() {
 			pk.laneRun[i] = false
 		}
 		for d := 0; d < nd; d++ {
-			if t, ok := pk.doms[d].NextTick(); ok && t < horizon {
+			if t, ok := pk.doms[d].NextTick(); ok && t <= limit {
 				lane := d % w
 				pk.laneRun[lane] = true
 				if lane != 0 {
@@ -326,11 +395,11 @@ func (pk *ParallelKernel) Run() {
 
 		var firstPanic any
 		if inlineOnly {
-			pk.runDomains(pk.lanes[0], horizon)
+			pk.runDomains(pk.lanes[0], limit)
 		} else {
 			for i := 1; i < w; i++ {
 				if pk.laneRun[i] {
-					workers[i].req <- horizon
+					workers[i].req <- limit
 				}
 			}
 			if pk.laneRun[0] {
@@ -340,7 +409,7 @@ func (pk *ParallelKernel) Run() {
 							firstPanic = r
 						}
 					}()
-					pk.runDomains(pk.lanes[0], horizon)
+					pk.runDomains(pk.lanes[0], limit)
 				}()
 			}
 			for i := 1; i < w; i++ {
@@ -401,6 +470,17 @@ func (pk *ParallelKernel) LiveProcs() int {
 // Quanta reports how many synchronization windows Run executed
 // (diagnostics: barrier-rate tuning).
 func (pk *ParallelKernel) Quanta() uint64 { return pk.executedQuanta }
+
+// InboxSlots reports the total cross-message slots currently held across
+// all destination pools — the memory high-water diagnostic the shrink
+// regression test bounds after a burst-then-idle run.
+func (pk *ParallelKernel) InboxSlots() int {
+	n := 0
+	for d := range pk.inbox {
+		n += len(pk.inbox[d].slots)
+	}
+	return n
+}
 
 // CrossMessages reports how many cross-domain messages were merged.
 func (pk *ParallelKernel) CrossMessages() uint64 { return pk.mergedMsgs }

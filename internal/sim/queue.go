@@ -119,6 +119,38 @@ func (q *eventQueue) nextTick() (uint64, bool) {
 	return 0, false
 }
 
+// startTick advances the window to the earliest pending tick and returns
+// that tick's bucket, or nil when the queue is empty or the earliest tick
+// is past limit (pass ^uint64(0) for unbounded). The kernel drains the
+// returned bucket in place — batched per-tick dispatch — instead of
+// re-scanning the wheel per event; callbacks that schedule for the same
+// tick append to the same bucket and are picked up by the drain loop.
+func (q *eventQueue) startTick(limit uint64) *bucket {
+	if q.wheelLen == 0 {
+		if len(q.far) == 0 || q.far[0].tick > limit {
+			return nil
+		}
+		// Jump the window to the far-heap minimum; migration refills
+		// the wheel with at least that event.
+		q.advanceTo(q.far[0].tick)
+	}
+	for d := uint64(0); d < wheelSize; d++ {
+		b := &q.wheel[(q.now+d)&wheelMask]
+		if b.head < len(b.ev) {
+			if q.now+d > limit {
+				return nil
+			}
+			if d != 0 {
+				// The window slides forward before any event runs, so
+				// callbacks at the new now see a fully migrated wheel.
+				q.advanceTo(q.now + d)
+			}
+			return b
+		}
+	}
+	panic("sim: wheelLen > 0 but no non-empty bucket")
+}
+
 // pop removes and returns the earliest event, advancing the window to its
 // tick. The second return is false when the queue is empty.
 func (q *eventQueue) pop() (event, bool) {

@@ -153,7 +153,19 @@ func (l *Lib) Queues() []*Queue { return l.queues }
 
 // SetProbe installs a traffic observer on the queue. Must be called
 // before any endpoint operates on it; a nil probe disables observation.
-func (q *Queue) SetProbe(p Probe) { q.probe = p }
+// Endpoints cache the probe reference at creation — the common probe-free
+// case then costs one endpoint-local nil check per message instead of
+// chasing through the queue — so SetProbe also refreshes any endpoint
+// already subscribed.
+func (q *Queue) SetProbe(p Probe) {
+	q.probe = p
+	for _, pr := range q.producers {
+		pr.probe = p
+	}
+	for _, c := range q.consumers {
+		c.probe = p
+	}
+}
 
 // SQI returns the queue's Shared Queue Identifier.
 func (q *Queue) SQI() vl.SQI { return q.sqi }
@@ -227,10 +239,13 @@ type Producer struct {
 	lib    *Lib // bound on first Push (the pushing thread's domain)
 	id     int
 	window int
+	probe  Probe // cached from the queue: probe-free fast path
 
 	outstanding int
 	credit      *sim.Signal
 	seq         uint64
+	accSeq      uint64 // next sequence to be accepted (acceptance is FIFO)
+	acceptFn    func() // bound once; the push hot path allocates no closure
 	snd         isa.Port
 
 	// OnAccept, if non-nil, observes every vl_push of this endpoint the
@@ -255,10 +270,26 @@ func (q *Queue) NewProducer(window int) *Producer {
 		q:      q,
 		id:     len(q.producers),
 		window: window,
+		probe:  q.probe,
 		credit: sim.NewSignal(fmt.Sprintf("%s.prod%d.credit", q.name, len(q.producers))),
 	}
+	p.acceptFn = p.accepted
 	q.producers = append(q.producers, p)
 	return p
+}
+
+// accepted runs at each vl_push acceptance tick. The endpoint's sender
+// is an ordered store buffer, so acceptances arrive in push order and a
+// counter recovers the accepted sequence number — no per-push closure
+// has to capture the message.
+func (pr *Producer) accepted() {
+	pr.outstanding--
+	pr.credit.Fire()
+	seq := pr.accSeq
+	pr.accSeq++
+	if pr.OnAccept != nil {
+		pr.OnAccept(pr.lib.k.Now(), seq)
+	}
 }
 
 // bind resolves the endpoint's domain-local library on first use and
@@ -297,17 +328,11 @@ func (pr *Producer) Push(p *sim.Proc, payload uint64) {
 	pr.outstanding++
 	msg := mem.Message{Src: pr.id, Seq: pr.seq, Payload: payload}
 	pr.seq++
-	if pr.q.probe != nil {
-		pr.q.probe.Push(pr.q, pr.id, p.Now(), msg)
+	if pr.probe != nil {
+		pr.probe.Push(pr.q, pr.id, p.Now(), msg)
 	}
 	lib.isa.Select(p)
-	lib.isa.Push(p, pr.snd, pr.q.sqi, msg, func() {
-		pr.outstanding--
-		pr.credit.Fire()
-		if pr.OnAccept != nil {
-			pr.OnAccept(pr.lib.k.Now(), msg.Seq)
-		}
-	})
+	lib.isa.Push(p, pr.snd, pr.q.sqi, msg, pr.acceptFn)
 }
 
 // ---------------------------------------------------------------------
@@ -321,6 +346,7 @@ type Consumer struct {
 	q      *Queue
 	lib    *Lib // bound at creation (the creating thread's domain)
 	id     int
+	probe  Probe // cached from the queue: probe-free fast path
 	page   *mem.Page
 	next   int
 	spec   bool
@@ -366,12 +392,13 @@ func (q *Queue) NewConsumer(p *sim.Proc, nlines int, spec bool) *Consumer {
 		panic(fmt.Sprintf("vlq: second consumer on %s — domain-partitioned systems support 1:1 queues only", q.name))
 	}
 	c := &Consumer{
-		q:    q,
-		lib:  lib,
-		id:   len(q.consumers),
-		page: lib.as.NewPage(nlines),
-		spec: spec,
-		snd:  lib.isa.NewFetchPort(),
+		q:     q,
+		lib:   lib,
+		id:    len(q.consumers),
+		probe: q.probe,
+		page:  lib.as.NewPage(nlines),
+		spec:  spec,
+		snd:   lib.isa.NewFetchPort(),
 	}
 	q.consumers = append(q.consumers, c)
 	home.mu.Unlock()
@@ -497,8 +524,8 @@ func (c *Consumer) Pop(p *sim.Proc) mem.Message {
 	line.NoteFirstUse(line.Msg)
 	msg := line.Take()
 	c.popped++
-	if c.q.probe != nil {
-		c.q.probe.Pop(c.q, c.id, p.Now(), msg)
+	if c.probe != nil {
+		c.probe.Pop(c.q, c.id, p.Now(), msg)
 	}
 	return msg
 }
@@ -547,8 +574,8 @@ func (c *Consumer) PopOrDone(p *sim.Proc, done *sim.Signal, isDone func() bool) 
 	line.NoteFirstUse(line.Msg)
 	msg := line.Take()
 	c.popped++
-	if c.q.probe != nil {
-		c.q.probe.Pop(c.q, c.id, p.Now(), msg)
+	if c.probe != nil {
+		c.probe.Pop(c.q, c.id, p.Now(), msg)
 	}
 	return msg, true
 }
@@ -575,8 +602,8 @@ func (c *Consumer) TryPop(p *sim.Proc) (mem.Message, bool) {
 	line.NoteFirstUse(line.Msg)
 	msg := line.Take()
 	c.popped++
-	if c.q.probe != nil {
-		c.q.probe.Pop(c.q, c.id, p.Now(), msg)
+	if c.probe != nil {
+		c.probe.Pop(c.q, c.id, p.Now(), msg)
 	}
 	return msg, true
 }

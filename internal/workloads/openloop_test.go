@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"encoding/json"
+	"testing"
+
+	"spamer"
+	"spamer/internal/traffic"
+)
+
+func openChain(proc string) *Shape {
+	return &Shape{
+		Stages:   3,
+		Messages: 400,
+		Lines:    4,
+		Window:   8,
+		Arrival:  &traffic.Spec{Process: proc, Seed: 21, MeanGap: 120, Users: 4},
+	}
+}
+
+// TestOpenLoopShapeRuns drives each arrival process through a chain on
+// both algorithms and checks full delivery.
+func TestOpenLoopShapeRuns(t *testing.T) {
+	for _, proc := range []string{traffic.Poisson, traffic.MMPP, traffic.Pareto} {
+		for _, alg := range []string{spamer.AlgBaseline, spamer.AlgTuned} {
+			sh := openChain(proc)
+			res := sh.Workload().Run(spamer.Config{Algorithm: alg}, 1)
+			if res.Popped != uint64(sh.Messages*(sh.Stages-1)) {
+				t.Fatalf("%s/%v: popped %d, want %d", proc, alg, res.Popped, sh.Messages*(sh.Stages-1))
+			}
+		}
+	}
+}
+
+// TestOpenLoopDeterministicTicks pins run-to-run determinism of an
+// open-loop simulation: same shape, same total ticks and message counts.
+func TestOpenLoopDeterministicTicks(t *testing.T) {
+	sh := openChain(traffic.MMPP)
+	a := sh.Workload().Run(spamer.Config{Algorithm: spamer.AlgTuned}, 1)
+	b := sh.Workload().Run(spamer.Config{Algorithm: spamer.AlgTuned}, 1)
+	if a.Ticks != b.Ticks || a.Pushed != b.Pushed || a.Popped != b.Popped {
+		t.Fatalf("open-loop run not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestOpenLoopSchedulePaces pins that the arrival schedule, not queue
+// backpressure, paces the run: with a mean gap far above the service
+// time, total ticks must be at least the scheduled span of the last
+// arrival.
+func TestOpenLoopSchedulePaces(t *testing.T) {
+	sh := &Shape{
+		Stages:   2,
+		Messages: 200,
+		Arrival:  &traffic.Spec{Process: traffic.Poisson, Seed: 5, MeanGap: 500},
+	}
+	res := sh.Workload().Run(spamer.Config{Algorithm: spamer.AlgBaseline}, 1)
+	// 200 arrivals at mean gap 500 span ~100k ticks; a closed-loop run
+	// of the same chain finishes in a small fraction of that.
+	if res.Ticks < 50000 {
+		t.Fatalf("open-loop run finished in %d ticks — schedule did not pace it", res.Ticks)
+	}
+	closed := &Shape{Stages: 2, Messages: 200}
+	fast := closed.Workload().Run(spamer.Config{Algorithm: spamer.AlgBaseline}, 1)
+	if fast.Ticks*4 > res.Ticks {
+		t.Fatalf("closed-loop %d ticks vs open-loop %d: pacing not visible", fast.Ticks, res.Ticks)
+	}
+}
+
+// TestOpenLoopFanShape exercises the fan family under open-loop incast
+// storms (many producers bursting onto one queue).
+func TestOpenLoopFanShape(t *testing.T) {
+	sh := &Shape{
+		Producers: 4,
+		Consumers: 2,
+		Messages:  100,
+		Arrival: &traffic.Spec{
+			Process: traffic.Poisson, Seed: 13, MeanGap: 200,
+			StormEvery: 3000, StormBurst: 8,
+		},
+	}
+	res := sh.Workload().Run(spamer.Config{Algorithm: spamer.AlgTuned}, 1)
+	if res.Popped != 400 {
+		t.Fatalf("fan popped %d, want 400", res.Popped)
+	}
+}
+
+// TestShapeValidateArrival pins arrival/burst exclusivity and nested
+// arrival validation.
+func TestShapeValidateArrival(t *testing.T) {
+	sh := &Shape{Stages: 2, Messages: 10, Burst: 3,
+		Arrival: &traffic.Spec{MeanGap: 10}}
+	if err := sh.Validate(); err == nil {
+		t.Fatal("burst+arrival should not validate")
+	}
+	sh = &Shape{Stages: 2, Messages: 10, Arrival: &traffic.Spec{}}
+	if err := sh.Validate(); err == nil {
+		t.Fatal("invalid nested arrival should not validate")
+	}
+	sh = &Shape{Stages: 2, Messages: 10, Arrival: &traffic.Spec{MeanGap: 10}}
+	if err := sh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if name := sh.Name(); name != "synthetic/chain-s2-m10-ol:poisson" {
+		t.Fatalf("unexpected open-loop name %q", name)
+	}
+}
+
+// TestShapeCanonical pins that default spellings and canonical arrival
+// forms collapse, so the service cache keys them identically.
+func TestShapeCanonical(t *testing.T) {
+	a := Shape{Stages: 2, Messages: 5}.Canonical()
+	b := Shape{Stages: 2, Messages: 5, Producers: 1, Consumers: 1, Lines: 2, Window: 4}.Canonical()
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("default spellings differ: %s vs %s", ja, jb)
+	}
+	c := Shape{Stages: 2, Messages: 5, Arrival: &traffic.Spec{MeanGap: 9}}.Canonical()
+	d := Shape{Stages: 2, Messages: 5, Arrival: &traffic.Spec{Process: "poisson", MeanGap: 9, Users: 1}}.Canonical()
+	jc, _ := json.Marshal(c)
+	jd, _ := json.Marshal(d)
+	if string(jc) != string(jd) {
+		t.Fatalf("canonical arrivals differ: %s vs %s", jc, jd)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"spamer"
+	"spamer/internal/traffic"
+	"spamer/internal/vlq"
 )
 
 // Shape parameterizes a synthetic workload: a family of small pipeline
@@ -46,6 +48,14 @@ type Shape struct {
 	// work) — the bursty arrival pattern that stresses delay prediction.
 	Burst    int    `json:"burst,omitempty"`
 	BurstGap uint64 `json:"burst_gap,omitempty"`
+
+	// Arrival, when set, switches producers to open-loop: each producer
+	// follows the seeded arrival schedule drawn from this spec (its
+	// endpoint id selects the stream) instead of pushing as fast as the
+	// queue admits. Mutually exclusive with Burst — the arrival process
+	// subsumes burstiness. See internal/traffic for the determinism
+	// contract that keeps open-loop shapes parallel-safe.
+	Arrival *traffic.Spec `json:"arrival,omitempty"`
 }
 
 // Validate rejects shapes that cannot build a runnable workload.
@@ -62,7 +72,44 @@ func (sh *Shape) Validate() error {
 	if sh.Producers < 0 || sh.Consumers < 0 || sh.Lines < 0 || sh.Window < 0 || sh.Burst < 0 {
 		return fmt.Errorf("workloads: negative shape parameter")
 	}
+	if sh.Arrival != nil {
+		if sh.Burst > 0 {
+			return fmt.Errorf("workloads: burst and arrival are mutually exclusive")
+		}
+		if err := sh.Arrival.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// Canonical returns the shape with dual spellings of defaults collapsed
+// (Producers/Consumers 1 -> 0, Lines 2 -> 0, Window vlq default -> 0)
+// and the arrival spec, if any, in its canonical form. Two shapes that
+// build identical workloads hash identically through it.
+func (sh Shape) Canonical() Shape {
+	c := sh
+	if c.Producers == 1 {
+		c.Producers = 0
+	}
+	if c.Consumers == 1 {
+		c.Consumers = 0
+	}
+	if c.Lines == 2 {
+		c.Lines = 0
+	}
+	if c.Window == vlq.DefaultWindow {
+		c.Window = 0
+	}
+	if c.Burst == 0 {
+		c.BurstGap = 0
+	}
+	if sh.Arrival != nil {
+		a := sh.Arrival.Canonical()
+		c.Arrival = &a
+		c.Burst, c.BurstGap = 0, 0
+	}
+	return c
 }
 
 // ParallelSafe reports whether the shape builds a strictly-1:1 workload
@@ -71,11 +118,15 @@ func (sh *Shape) ParallelSafe() bool { return sh.Stages >= 2 }
 
 // Name returns a compact diagnostic name encoding the shape.
 func (sh *Shape) Name() string {
+	suffix := ""
+	if sh.Arrival != nil {
+		suffix = "-ol:" + sh.Arrival.Name()
+	}
 	if sh.Stages >= 2 {
-		return fmt.Sprintf("synthetic/chain-s%d-m%d", sh.Stages, sh.Messages)
+		return fmt.Sprintf("synthetic/chain-s%d-m%d%s", sh.Stages, sh.Messages, suffix)
 	}
 	p, c := sh.fan()
-	return fmt.Sprintf("synthetic/fan-%d:%d-m%d", p, c, sh.Messages)
+	return fmt.Sprintf("synthetic/fan-%d:%d-m%d%s", p, c, sh.Messages, suffix)
 }
 
 func (sh *Shape) fan() (producers, consumers int) {
@@ -129,6 +180,10 @@ func (sh *Shape) Workload() *Workload {
 // payload mixes the producer id into a multiplicative hash so corrupted
 // or cross-wired deliveries cannot alias to a valid payload by accident.
 func (sh *Shape) produce(t *spamer.Thread, tx *spamer.Producer, id, n int) {
+	if sh.Arrival != nil {
+		sh.produceOpen(t, tx, id, n)
+		return
+	}
 	for i := 0; i < n; i++ {
 		if sh.ProdWork > 0 {
 			t.Compute(sh.ProdWork)
@@ -137,6 +192,42 @@ func (sh *Shape) produce(t *spamer.Thread, tx *spamer.Producer, id, n int) {
 			t.Compute(sh.burstGap())
 		}
 		tx.Push(t.Proc, payloadFor(id, i))
+	}
+}
+
+// arrivalChunk sizes the pooled arrival-record block each open-loop
+// producer refills in place — large enough to amortize the refill loop,
+// small enough to stay cache-resident.
+const arrivalChunk = 256
+
+// produceOpen pushes n messages on the open-loop schedule drawn from
+// sh.Arrival: the producer idles until each arrival tick, then pushes.
+// A producer that falls behind (the queue window stalled it past the
+// next arrival) pushes immediately — the schedule never slips, which is
+// the open-loop contract. One chunk buffer is reused for the whole run,
+// so the steady state allocates nothing per message.
+func (sh *Shape) produceOpen(t *spamer.Thread, tx *spamer.Producer, id, n int) {
+	src := traffic.NewSource(*sh.Arrival, id)
+	buf := make([]uint64, arrivalChunk)
+	if n < len(buf) {
+		buf = buf[:n]
+	}
+	done := 0
+	for done < n {
+		src.Fill(buf)
+		for _, at := range buf {
+			if done >= n {
+				break
+			}
+			if now := t.Now(); now < at {
+				t.Compute(at - now)
+			}
+			if sh.ProdWork > 0 {
+				t.Compute(sh.ProdWork)
+			}
+			tx.Push(t.Proc, payloadFor(id, done))
+			done++
+		}
 	}
 }
 
