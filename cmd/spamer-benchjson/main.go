@@ -19,12 +19,15 @@
 // CI can surface regressions without gating merges on noisy timings.
 //
 // -gate turns the comparison into a check: the exit status becomes
-// nonzero when a SpecRun benchmark regresses more than 10% in ns/op
-// against the baseline, when any benchmark present in both runs
-// allocates more per op than it used to, or when the MillionMessage
-// sequential hot path allocates at all. The bench-ci step runs with
-// -gate under continue-on-error, so the failure marks the job log
-// without blocking merges on shared-runner timing noise.
+// nonzero when the sequential SpecRun benchmark regresses more than
+// -gate-pct in ns/op against the baseline, when any benchmark present
+// in both runs allocates more per op than it used to, or when the
+// MillionMessage sequential hot path allocates at all. The bench-ci
+// step is blocking, so the timing bar is deliberately narrow in scope
+// (sequential only — parallel wall time is runner-contention noise)
+// and wide in tolerance (-gate-pct defaults to 25); the allocs/op
+// checks are exact — counts don't jitter — and are the gate's primary
+// teeth.
 package main
 
 import (
@@ -52,7 +55,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 func main() {
 	out := flag.String("out", "BENCH.json", "output JSON path")
 	baseline := flag.String("baseline", "", "prior BENCH_<n>.json to diff against (delta table on stderr; never fails the run)")
-	gate := flag.Bool("gate", false, "exit nonzero on >10% SpecRun ns/op regression vs -baseline, any allocs/op increase, or a MillionMessage sequential alloc")
+	gate := flag.Bool("gate", false, "exit nonzero on SpecRun ns/op regression past -gate-pct vs -baseline, any allocs/op increase, or a MillionMessage sequential alloc")
+	gatePct := flag.Float64("gate-pct", 25, "ns/op regression percentage -gate tolerates on SpecRun benchmarks")
 	flag.Parse()
 
 	entries := map[string]Entry{}
@@ -124,7 +128,7 @@ func main() {
 		old = printDeltas(*baseline, entries)
 	}
 	if *gate {
-		if bad := gateViolations(old, entries); len(bad) > 0 {
+		if bad := gateViolations(old, entries, *gatePct); len(bad) > 0 {
 			for _, v := range bad {
 				fmt.Fprintln(os.Stderr, "spamer-benchjson: GATE:", v)
 			}
@@ -134,12 +138,12 @@ func main() {
 	}
 }
 
-// gateViolations applies the non-blocking perf gate: SpecRun ns/op may
-// not regress more than 10% against the baseline, no benchmark may gain
+// gateViolations applies the perf gate: SpecRun ns/op may not regress
+// more than pct percent against the baseline, no benchmark may gain
 // allocs/op, and the MillionMessage sequential hot path must stay
 // allocation-free (checked even without a baseline entry — the
 // benchmark is newer than some baselines).
-func gateViolations(old, entries map[string]Entry) []string {
+func gateViolations(old, entries map[string]Entry, pct float64) []string {
 	var bad []string
 	names := make([]string, 0, len(entries))
 	for name := range entries {
@@ -155,7 +159,12 @@ func gateViolations(old, entries map[string]Entry) []string {
 		if !ok {
 			continue
 		}
-		if strings.Contains(name, "SpecRun") && o.NsPerOp > 0 && e.NsPerOp > o.NsPerOp*1.10 {
+		// Timing is gated on the sequential SpecRun only: the parallel
+		// variants' wall time is a function of core contention on the
+		// runner, not of the code, and swings far past any usable bar.
+		// They are still held to the exact allocs/op check below.
+		if strings.Contains(name, "SpecRun") && !strings.Contains(name, "Parallel") &&
+			o.NsPerOp > 0 && e.NsPerOp > o.NsPerOp*(1+pct/100) {
 			bad = append(bad, fmt.Sprintf("%s regressed %.1f%% ns/op (%.0f -> %.0f)", name, (e.NsPerOp-o.NsPerOp)/o.NsPerOp*100, o.NsPerOp, e.NsPerOp))
 		}
 		if e.AllocsPerOp > o.AllocsPerOp {

@@ -1,0 +1,267 @@
+// Command spamer-fabric-smoke is the end-to-end exercise of the
+// distributed simulation fabric with real processes: it builds
+// spamer-serve and spamer-worker, starts a coordinator plus two worker
+// processes on loopback, submits a golden spec batch over the service
+// API, and byte-compares the distributed outcomes against an
+// in-process run. It then SIGKILLs one worker and submits a second
+// batch: the coordinator must observe the broken lease, re-dispatch to
+// the survivor, and still return outcomes byte-identical to local —
+// the retry path under genuine process death (docs/FABRIC.md).
+//
+// Exit status 0 means the fabric survived; any divergence, timeout, or
+// missed retry is fatal. Run via `make fabric-smoke`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spamer/internal/experiments"
+	"spamer/internal/harness"
+)
+
+// batch1/batch2 are the golden batches: same benchmarks, distinct
+// labels, so batch2 has fresh canonical hashes and cannot be answered
+// from the store — its shards must be placed, which is what drives one
+// of them onto the dead worker.
+const (
+	batch1 = `[{"benchmark":"ping-pong","algorithms":["vl"],"label":"s1"},
+{"benchmark":"ping-pong","algorithms":["vl","0delay"],"label":"s2"},
+{"benchmark":"incast","algorithms":["vl"],"label":"s3"}]`
+	batch2 = `[{"benchmark":"ping-pong","algorithms":["vl"],"label":"k1"},
+{"benchmark":"ping-pong","algorithms":["vl","0delay"],"label":"k2"},
+{"benchmark":"incast","algorithms":["vl"],"label":"k3"}]`
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fabric-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("fabric-smoke: OK")
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	bin, err := os.MkdirTemp("", "fabric-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(bin)
+	for _, cmd := range []string{"spamer-serve", "spamer-worker"} {
+		step := exec.CommandContext(ctx, "go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd)
+		step.Stderr = os.Stderr
+		if err := step.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", cmd, err)
+		}
+	}
+
+	coordPort, err := freePort()
+	if err != nil {
+		return err
+	}
+	coordURL := fmt.Sprintf("http://127.0.0.1:%d", coordPort)
+	// Expiry is deliberately long: after the SIGKILL below the dead
+	// worker must still look present so placement picks it and the
+	// retry path — not presence reaping — handles the death.
+	serve := exec.CommandContext(ctx, filepath.Join(bin, "spamer-serve"),
+		"-addr", fmt.Sprintf("127.0.0.1:%d", coordPort),
+		"-fabric-heartbeat", "200ms", "-fabric-expire", "1m",
+		"-fabric-dispatch-timeout", "1m")
+	serve.Stderr = os.Stderr
+	if err := serve.Start(); err != nil {
+		return err
+	}
+	defer serve.Process.Kill()
+	if err := waitHTTP(ctx, coordURL+"/healthz"); err != nil {
+		return fmt.Errorf("coordinator never came up: %w", err)
+	}
+
+	workers := make(map[string]*exec.Cmd)
+	for _, id := range []string{"w1", "w2"} {
+		port, err := freePort()
+		if err != nil {
+			return err
+		}
+		w := exec.CommandContext(ctx, filepath.Join(bin, "spamer-worker"),
+			"-coordinator", coordURL,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-advertise", fmt.Sprintf("http://127.0.0.1:%d", port),
+			"-id", id, "-slots", "1", "-parallel", "1")
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			return err
+		}
+		defer w.Process.Kill()
+		workers[id] = w
+	}
+	if err := waitMetric(ctx, coordURL, "spamer_fabric_workers_present 2"); err != nil {
+		return fmt.Errorf("workers never registered: %w", err)
+	}
+	fmt.Println("fabric-smoke: coordinator + 2 workers up")
+
+	// Phase 1: golden batch through the full wire path must equal the
+	// in-process run byte for byte.
+	if err := submitAndCompare(ctx, coordURL, batch1); err != nil {
+		return fmt.Errorf("golden batch: %w", err)
+	}
+	fmt.Println("fabric-smoke: golden batch byte-identical to local run")
+
+	// Phase 2: SIGKILL w1 — no drain, no deregistration, exactly a died
+	// process — then submit fresh work. Placement still sees w1 live
+	// (long expiry, recent heartbeat), leases a shard to it, hits the
+	// dead socket, and must recover via re-dispatch to w2.
+	if err := workers["w1"].Process.Kill(); err != nil {
+		return err
+	}
+	workers["w1"].Wait()
+	fmt.Println("fabric-smoke: killed w1 (SIGKILL)")
+	if err := submitAndCompare(ctx, coordURL, batch2); err != nil {
+		return fmt.Errorf("post-kill batch: %w", err)
+	}
+	// Dispatch is synchronous, so by job completion the broken lease has
+	// already been observed and re-dispatched — the counter must show it.
+	m, err := metricsBody(ctx, coordURL)
+	if err != nil {
+		return err
+	}
+	if strings.Contains(m, "spamer_fabric_retries_total 0\n") {
+		return fmt.Errorf("post-kill batch completed without any retry; the dead worker was never leased:\n%s", m)
+	}
+	fmt.Println("fabric-smoke: post-kill batch re-leased onto survivor, outcomes byte-identical")
+	return nil
+}
+
+// submitAndCompare POSTs the batch to the service, waits for the job,
+// and byte-compares its outcomes against experiments.RunSpecsParallel
+// in this process.
+func submitAndCompare(ctx context.Context, base, batch string) error {
+	specs, err := experiments.ReadSpecs(strings.NewReader(batch))
+	if err != nil {
+		return err
+	}
+	local := experiments.RunSpecsParallel(ctx, specs, harness.Options{Workers: 1})
+	var want []experiments.Outcome
+	for _, r := range local {
+		if r.Err != nil {
+			return fmt.Errorf("local run failed: %w", r.Err)
+		}
+		want = append(want, r.Outcomes...)
+	}
+
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/jobs", strings.NewReader(batch))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	var st struct {
+		ID       string                `json:"id"`
+		State    string                `json:"state"`
+		Outcomes []experiments.Outcome `json:"outcomes"`
+		Errors   []string              `json:"errors"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for st.State != "done" {
+		if st.State == "failed" {
+			return fmt.Errorf("job failed: %v", st.Errors)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s stuck in %q", st.ID, st.State)
+		}
+		time.Sleep(100 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	wj, _ := json.Marshal(want)
+	gj, _ := json.Marshal(st.Outcomes)
+	if string(wj) != string(gj) {
+		return fmt.Errorf("outcomes not byte-identical:\nlocal:  %s\nfabric: %s", wj, gj)
+	}
+	return nil
+}
+
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port, nil
+}
+
+func waitHTTP(ctx context.Context, url string) error {
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func metricsBody(ctx context.Context, base string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func waitMetric(ctx context.Context, base, needle string) error {
+	for {
+		m, err := metricsBody(ctx, base)
+		if err == nil && strings.Contains(m, needle) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("waiting for %q: %w\nlast metrics:\n%s", needle, ctx.Err(), m)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

@@ -5,10 +5,22 @@
 // result cache, live SSE progress, and Prometheus metrics. See
 // docs/SERVICE.md for the API.
 //
+// With -fabric (the default) the daemon is also the coordinator of the
+// distributed simulation fabric (docs/FABRIC.md): spamer-worker
+// processes register under /v1/fabric/, jobs shard by canonical spec
+// hash onto the pool with queue-depth-aware placement and lease-based
+// retry, and a shared content-addressed result store makes any
+// worker's completed spec a cache hit for every client. With no
+// workers attached, the coordinator's local fallback reproduces
+// single-process behaviour exactly.
+//
 // Usage:
 //
 //	spamer-serve [-addr :8080] [-queue 64] [-jobs 1] [-parallel N]
 //	             [-cache 256] [-run-timeout 0] [-drain-timeout 30s]
+//	             [-fabric] [-fabric-heartbeat 2s] [-fabric-expire 6s]
+//	             [-fabric-dispatch-timeout 10m] [-fabric-attempts 3]
+//	             [-fabric-store 4096]
 //
 // SIGTERM/SIGINT triggers a graceful drain: admission stops, every
 // admitted job finishes (bounded by -drain-timeout), then the process
@@ -26,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"spamer/internal/fabric"
 	"spamer/internal/service"
 )
 
@@ -37,20 +50,43 @@ func main() {
 	cacheEntries := flag.Int("cache", 256, "result cache entries (negative disables)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-simulation timeout (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	useFabric := flag.Bool("fabric", true, "coordinate a spamer-worker pool (docs/FABRIC.md)")
+	fabricHeartbeat := flag.Duration("fabric-heartbeat", 2*time.Second, "heartbeat cadence told to workers")
+	fabricExpire := flag.Duration("fabric-expire", 0, "presence deadline for silent workers (0 = 3x heartbeat)")
+	fabricDispatch := flag.Duration("fabric-dispatch-timeout", 10*time.Minute, "lease bound for one dispatched spec shard")
+	fabricAttempts := flag.Int("fabric-attempts", 3, "re-dispatches per spec before local fallback")
+	fabricStore := flag.Int("fabric-store", 4096, "shared per-spec result store entries (negative disables)")
 	flag.Parse()
 
+	var coord *fabric.Coordinator
+	if *useFabric {
+		coord = fabric.NewCoordinator(fabric.CoordinatorOptions{
+			HeartbeatEvery:  *fabricHeartbeat,
+			ExpireAfter:     *fabricExpire,
+			DispatchTimeout: *fabricDispatch,
+			MaxAttempts:     *fabricAttempts,
+			StoreEntries:    *fabricStore,
+			LocalWorkers:    *parallel,
+			RunTimeout:      *runTimeout,
+		})
+	}
 	srv := service.New(service.Options{
 		QueueDepth:   *queue,
 		JobWorkers:   *jobs,
 		RunWorkers:   *parallel,
 		RunTimeout:   *runTimeout,
 		CacheEntries: *cacheEntries,
+		Fabric:       coord,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "spamer-serve: listening on %s (queue=%d jobs=%d)\n", *addr, *queue, *jobs)
+	mode := "single-process"
+	if coord != nil {
+		mode = "fabric coordinator"
+	}
+	fmt.Fprintf(os.Stderr, "spamer-serve: listening on %s (queue=%d jobs=%d, %s)\n", *addr, *queue, *jobs, mode)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)

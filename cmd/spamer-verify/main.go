@@ -7,10 +7,16 @@
 // delivery, determinism, and cross-kernel trace equivalence (see
 // docs/TESTING.md).
 //
+// With -workers N every case additionally runs through a fabric
+// worker pool of that size, and the distributed per-spec outcomes must
+// be byte-identical to a local run (the distributed-vs-local
+// differential; docs/FABRIC.md).
+//
 // Every failing case is greedily minimized and written as a JSON repro
 // under -out; replay one with -repro:
 //
 //	spamer-verify -n 200 -seed 1
+//	spamer-verify -n 100 -workers 2
 //	spamer-verify -repro oracle-repro-....json
 //
 // Exit status is nonzero when any case fails.
@@ -33,6 +39,7 @@ func main() {
 	out := flag.String("out", ".", "directory for minimized repro JSON files")
 	domainsFlag := flag.String("domains", "1,2,4,8,16", "comma-separated lane counts for cross-kernel checks (empty disables)")
 	repro := flag.String("repro", "", "replay a single repro/case JSON file instead of running a campaign")
+	workers := flag.Int("workers", 0, "fabric worker pool size for the distributed-vs-local differential (0 disables)")
 	flag.Parse()
 
 	if *repro != "" {
@@ -49,6 +56,7 @@ func main() {
 		N:        *n,
 		Domains:  domains,
 		ReproDir: *out,
+		Workers:  *workers,
 		Log:      os.Stderr,
 	})
 	if err != nil {

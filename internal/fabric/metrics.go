@@ -1,0 +1,101 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics aggregates the coordinator-side fabric counters and renders
+// them in Prometheus text exposition format. Hand-rolled on the
+// standard library like internal/service's metrics: the repo takes no
+// dependencies and the needed subset — gauges, counters, one labeled
+// counter family — is small.
+type Metrics struct {
+	// live probes, set by the coordinator.
+	workersPresent func() int
+	storeEntries   func() int
+
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
+
+	placements     atomic.Uint64 // leases dispatched to workers
+	retries        atomic.Uint64 // re-leases after a transport failure
+	workerDeaths   atomic.Uint64 // workers evicted on dispatch failure or silence
+	localFallbacks atomic.Uint64 // specs run locally after the pool failed them
+
+	mu        sync.Mutex
+	perWorker map[string]*workerCounters // keyed by worker ID
+}
+
+type workerCounters struct {
+	specs atomic.Uint64 // spec shards completed
+	runs  atomic.Uint64 // (spec, algorithm) simulations inside them
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{perWorker: map[string]*workerCounters{}}
+}
+
+func (m *Metrics) worker(id string) *workerCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wc, ok := m.perWorker[id]
+	if !ok {
+		wc = &workerCounters{}
+		m.perWorker[id] = wc
+	}
+	return wc
+}
+
+// Write renders every metric. Output order is deterministic so tests
+// can assert on substrings.
+func (m *Metrics) Write(w io.Writer) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	if m.workersPresent != nil {
+		gauge("spamer_fabric_workers_present", "Live registered workers (heartbeat fresh, not draining).", int64(m.workersPresent()))
+	}
+	if m.storeEntries != nil {
+		gauge("spamer_fabric_store_entries", "Entries in the shared content-addressed result store.", int64(m.storeEntries()))
+	}
+	counter("spamer_fabric_store_hits_total", "Specs answered from the shared result store without dispatching.", m.storeHits.Load())
+	counter("spamer_fabric_store_misses_total", "Specs that had to be dispatched or run.", m.storeMisses.Load())
+	counter("spamer_fabric_placements_total", "Spec leases dispatched to workers.", m.placements.Load())
+	counter("spamer_fabric_retries_total", "Leases re-dispatched after a worker died or failed mid-job.", m.retries.Load())
+	counter("spamer_fabric_worker_deaths_total", "Workers evicted from the pool (dispatch failure or heartbeat silence).", m.workerDeaths.Load())
+	counter("spamer_fabric_local_fallbacks_total", "Specs executed locally after the worker pool could not.", m.localFallbacks.Load())
+
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.perWorker))
+	for id := range m.perWorker {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	const specs = "spamer_fabric_worker_specs_total"
+	fmt.Fprintf(w, "# HELP %s Spec shards completed, per worker.\n# TYPE %s counter\n", specs, specs)
+	for _, id := range ids {
+		fmt.Fprintf(w, "%s{worker=%q} %d\n", specs, id, m.perWorker[id].specs.Load())
+	}
+	const runs = "spamer_fabric_worker_runs_total"
+	fmt.Fprintf(w, "# HELP %s Individual (spec, algorithm) simulations completed, per worker.\n# TYPE %s counter\n", runs, runs)
+	for _, id := range ids {
+		fmt.Fprintf(w, "%s{worker=%q} %d\n", runs, id, m.perWorker[id].runs.Load())
+	}
+	m.mu.Unlock()
+}
+
+// Retries reports the re-dispatch count (test and smoke assertions).
+func (m *Metrics) Retries() uint64 { return m.retries.Load() }
+
+// Placements reports the lease dispatch count.
+func (m *Metrics) Placements() uint64 { return m.placements.Load() }
+
+// LocalFallbacks reports specs that ran locally after pool failure.
+func (m *Metrics) LocalFallbacks() uint64 { return m.localFallbacks.Load() }

@@ -24,6 +24,11 @@ type CampaignOptions struct {
 	// ReproDir is where minimized failing cases are written as JSON
 	// ("" = current directory).
 	ReproDir string
+	// Workers, when > 0, additionally runs every case through a fabric
+	// worker pool of that size and requires the distributed outcomes to
+	// be byte-identical to a local run (the distributed-vs-local
+	// differential; docs/FABRIC.md).
+	Workers int
 	// Log, when non-nil, receives one progress line per failure and a
 	// periodic heartbeat.
 	Log io.Writer
@@ -68,6 +73,15 @@ func Campaign(opts CampaignOptions) (CampaignResult, error) {
 			fmt.Fprintf(opts.Log, format+"\n", args...)
 		}
 	}
+	var dc *DistributedChecker
+	if opts.Workers > 0 {
+		var err error
+		if dc, err = NewDistributedChecker(opts.Workers); err != nil {
+			return CampaignResult{}, err
+		}
+		defer dc.Close()
+		logf("oracle: distributed differential on, %d workers", dc.Workers())
+	}
 	var res CampaignResult
 	for i := 0; i < opts.N; i++ {
 		seed := caseSeed(opts.Seed, i)
@@ -76,6 +90,23 @@ func Campaign(opts CampaignOptions) (CampaignResult, error) {
 		rep := CheckCase(cs)
 		res.Cases++
 		res.Runs += rep.Runs
+		if dc != nil {
+			vs, runs := dc.Check(cs)
+			res.Runs += runs
+			if len(vs) > 0 {
+				// A divergence is a fabric bug, not a simulator bug:
+				// Minimize replays through CheckCase and would never
+				// reproduce it, so record the case as-is.
+				logf("oracle: case %d (seed %#x) DISTRIBUTED DIVERGENCE: %s", i, seed, vs[0])
+				fail := CaseFailure{Case: cs, Original: cs, Violations: vs}
+				path, err := writeRepro(opts.ReproDir, seed, fail)
+				if err != nil {
+					return res, fmt.Errorf("oracle: writing repro: %w", err)
+				}
+				fail.ReproPath = path
+				res.Failures = append(res.Failures, fail)
+			}
+		}
 		if i > 0 && i%25 == 0 {
 			logf("oracle: %d/%d cases, %d runs, %d failures", i, opts.N, res.Runs, len(res.Failures))
 		}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"spamer/internal/experiments"
+	"spamer/internal/fabric"
 	"spamer/internal/harness"
 )
 
@@ -59,6 +60,13 @@ type Options struct {
 	// RetryAfter is the backoff hint attached to 429 responses
 	// (default 1s).
 	RetryAfter time.Duration
+	// Fabric, when non-nil, turns the server into a coordinator for a
+	// pool of spamer-worker processes (docs/FABRIC.md): jobs shard by
+	// canonical spec hash onto registered workers, the coordinator's
+	// wire endpoints mount under /v1/fabric/, and its metrics join
+	// /metrics. With an empty pool the coordinator's local fallback
+	// reproduces single-process behaviour exactly.
+	Fabric *fabric.Coordinator
 
 	// hookRunning, if set, is called from the executor after a job
 	// enters StateRunning and before its simulations start. Test-only:
@@ -240,12 +248,17 @@ func (s *Server) execute(j *job) {
 	if s.opts.hookRunning != nil {
 		s.opts.hookRunning(j)
 	}
-	results := experiments.RunSpecsParallel(s.ctx, j.specs, harness.Options{
-		Workers:    s.opts.RunWorkers,
-		Timeout:    s.opts.RunTimeout,
-		OnStart:    j.runStart,
-		OnProgress: j.runDone,
-	})
+	var results []experiments.SpecResult
+	if s.opts.Fabric != nil {
+		results = s.runOnFabric(j)
+	} else {
+		results = experiments.RunSpecsParallel(s.ctx, j.specs, harness.Options{
+			Workers:    s.opts.RunWorkers,
+			Timeout:    s.opts.RunTimeout,
+			OnStart:    j.runStart,
+			OnProgress: j.runDone,
+		})
+	}
 
 	var outcomes []experiments.Outcome
 	var errs []string
@@ -270,6 +283,35 @@ func (s *Server) execute(j *job) {
 	if st.Started != nil && st.Finished != nil {
 		s.metrics.latency.observe(st.Finished.Sub(j.created).Seconds())
 	}
+}
+
+// runOnFabric executes a job's specs across the worker pool, adapting
+// the coordinator's per-spec progress hooks to the job's SSE stream.
+// Progress is per spec shard (the fabric's scheduling unit): done
+// counts completed (spec, algorithm) simulations as shards land,
+// failed counts failed shards.
+func (s *Server) runOnFabric(j *job) []experiments.SpecResult {
+	var mu sync.Mutex
+	var done, failed int
+	total := j.status().Runs.Total
+	return s.opts.Fabric.RunSpecs(s.ctx, j.specs, fabric.RunOptions{
+		OnSpecStart: func(index int, label string) {
+			mu.Lock()
+			p := harness.Progress{Done: done, Total: total, Failed: failed, Label: label}
+			mu.Unlock()
+			j.runStart(p)
+		},
+		OnSpecDone: func(index int, label string, runs int, specFailed bool) {
+			mu.Lock()
+			done += runs
+			if specFailed {
+				failed++
+			}
+			p := harness.Progress{Done: done, Total: total, Failed: failed, Label: label}
+			mu.Unlock()
+			j.runDone(p)
+		},
+	})
 }
 
 // Drain gracefully shuts the server down: stop admitting (POST → 503,
