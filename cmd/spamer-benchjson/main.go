@@ -27,7 +27,9 @@
 // (sequential only — parallel wall time is runner-contention noise)
 // and wide in tolerance (-gate-pct defaults to 25); the allocs/op
 // checks are exact — counts don't jitter — and are the gate's primary
-// teeth.
+// teeth. -gate requires a readable -baseline: a missing or malformed
+// baseline file is itself a gate failure, never a silent downgrade to
+// the allocation checks alone.
 package main
 
 import (
@@ -124,10 +126,24 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "spamer-benchjson: wrote %d benchmarks to %s\n", len(entries), *out)
 	var old map[string]Entry
+	var oldErr error
 	if *baseline != "" {
-		old = printDeltas(*baseline, entries)
+		old, oldErr = printDeltas(*baseline, entries)
 	}
 	if *gate {
+		// A gate without a readable baseline would silently degrade to
+		// the MillionMessage-allocs check alone — every regression bar
+		// it exists for would pass vacuously. Refuse instead: a stale
+		// BENCH_BASELINE (file renamed, not committed) must fail CI
+		// loudly, not weaken it.
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "spamer-benchjson: GATE: -gate requires -baseline")
+			os.Exit(1)
+		}
+		if oldErr != nil {
+			fmt.Fprintf(os.Stderr, "spamer-benchjson: GATE: baseline %s unusable: %v\n", *baseline, oldErr)
+			os.Exit(1)
+		}
 		if bad := gateViolations(old, entries, *gatePct); len(bad) > 0 {
 			for _, v := range bad {
 				fmt.Fprintln(os.Stderr, "spamer-benchjson: GATE:", v)
@@ -176,19 +192,20 @@ func gateViolations(old, entries map[string]Entry, pct float64) []string {
 
 // printDeltas renders a benchstat-style comparison of entries against a
 // prior BENCH_<n>.json on stderr and returns the parsed baseline for
-// the optional gate. Failures to read or parse the baseline are
-// reported and swallowed: the delta table is a diagnostic; only -gate
-// turns the result into an exit status.
-func printDeltas(path string, entries map[string]Entry) map[string]Entry {
+// the optional gate. A read or parse failure is reported on stderr and
+// returned: without -gate it stays informational (the delta table is a
+// diagnostic), with -gate the caller turns it into a hard failure so a
+// missing baseline cannot silently weaken the check.
+func printDeltas(path string, entries map[string]Entry) (map[string]Entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spamer-benchjson: baseline:", err)
-		return nil
+		return nil, err
 	}
 	var old map[string]Entry
 	if err := json.Unmarshal(data, &old); err != nil {
 		fmt.Fprintln(os.Stderr, "spamer-benchjson: baseline:", err)
-		return nil
+		return nil, err
 	}
 	names := make([]string, 0, len(entries))
 	for name := range entries {
@@ -234,5 +251,5 @@ func printDeltas(path string, entries map[string]Entry) map[string]Entry {
 	for _, name := range removed {
 		fmt.Fprintf(os.Stderr, "%-64s removed\n", name)
 	}
-	return old
+	return old, nil
 }

@@ -7,44 +7,64 @@ import "fmt"
 // point it must be zero; the verification oracle checks that.
 func (b *SpecBuf) OnFlyCount() int {
 	n := 0
-	for i := range b.entries {
-		if b.entries[i].Valid && b.entries[i].OnFly {
+	for _, f := range b.flags {
+		if f == entValid|entOnFly {
 			n++
 		}
 	}
 	return n
 }
 
-// CheckStructure verifies the specBuf structural invariants: the free
-// list and the valid entries partition the table; every SQI's Next chain
-// is a closed loop of valid entries of that SQI containing the SQI's
-// specHead; every valid entry is reachable from its SQI's head; and each
-// entry's Offset stays inside its registered segment. It returns the
-// first inconsistency found, or nil.
+// CheckStructure verifies the specBuf structural invariants: the SoA
+// columns agree in length; flag bytes hold only defined bits, and on-fly
+// is only ever set on a valid entry; the free list and the valid entries
+// partition the table, and the live counter matches; the occupancy
+// high-water mark bounds the live count and never exceeds capacity;
+// every SQI's Next chain is a closed loop of valid entries of that SQI
+// containing the SQI's specHead; every valid entry is reachable from its
+// SQI's head; and each entry's Offset stays inside its registered
+// segment. It returns the first inconsistency found, or nil.
 func (b *SpecBuf) CheckStructure() error {
+	n := len(b.flags)
+	if len(b.next) != n || len(b.sqi) != n || len(b.base) != n ||
+		len(b.size) != n || len(b.off) != n || len(b.pred) != n {
+		return fmt.Errorf("core: specBuf columns disagree: flags=%d next=%d sqi=%d base=%d size=%d off=%d pred=%d",
+			n, len(b.next), len(b.sqi), len(b.base), len(b.size), len(b.off), len(b.pred))
+	}
 	valid := 0
-	for i := range b.entries {
-		e := &b.entries[i]
-		if !e.Valid {
+	for i, f := range b.flags {
+		if f&^(entValid|entOnFly) != 0 {
+			return fmt.Errorf("core: specBuf entry %d holds undefined flag bits %#x", i, f)
+		}
+		if f&entValid == 0 {
+			if f&entOnFly != 0 {
+				return fmt.Errorf("core: specBuf entry %d on-fly but not valid", i)
+			}
 			continue
 		}
 		valid++
-		if e.Len <= 0 {
-			return fmt.Errorf("core: specBuf entry %d has segment length %d", i, e.Len)
+		if b.size[i] <= 0 {
+			return fmt.Errorf("core: specBuf entry %d has segment length %d", i, b.size[i])
 		}
-		if e.Offset < 0 || e.Offset >= e.Len {
-			return fmt.Errorf("core: specBuf entry %d Offset %d outside [0,%d)", i, e.Offset, e.Len)
+		if b.off[i] < 0 || b.off[i] >= b.size[i] {
+			return fmt.Errorf("core: specBuf entry %d Offset %d outside [0,%d)", i, b.off[i], b.size[i])
 		}
 	}
-	if valid+len(b.free) != len(b.entries) {
-		return fmt.Errorf("core: %d valid + %d free != %d specBuf entries", valid, len(b.free), len(b.entries))
+	if valid != b.live {
+		return fmt.Errorf("core: %d valid specBuf entries but live counter says %d", valid, b.live)
 	}
-	seen := make([]bool, len(b.entries))
+	if b.highWater < valid || b.highWater > n {
+		return fmt.Errorf("core: specBuf high-water %d outside [live %d, capacity %d]", b.highWater, valid, n)
+	}
+	if valid+len(b.free) != n {
+		return fmt.Errorf("core: %d valid + %d free != %d specBuf entries", valid, len(b.free), n)
+	}
+	seen := make([]bool, n)
 	for _, idx := range b.free {
-		if idx < 0 || idx >= len(b.entries) {
+		if idx < 0 || int(idx) >= n {
 			return fmt.Errorf("core: specBuf free list holds out-of-range index %d", idx)
 		}
-		if b.entries[idx].Valid {
+		if b.flags[idx]&entValid != 0 {
 			return fmt.Errorf("core: specBuf entry %d on free list but valid", idx)
 		}
 		if seen[idx] {
@@ -59,25 +79,24 @@ func (b *SpecBuf) CheckStructure() error {
 		}
 		idx := int(head)
 		for steps := 0; ; steps++ {
-			if idx < 0 || idx >= len(b.entries) {
+			if idx < 0 || idx >= n {
 				return fmt.Errorf("core: SQI %d loop holds out-of-range index %d", sqi, idx)
 			}
-			e := &b.entries[idx]
-			if !e.Valid {
+			if b.flags[idx]&entValid == 0 {
 				return fmt.Errorf("core: SQI %d loop reaches invalid entry %d", sqi, idx)
 			}
-			if int(e.SQI) != sqi {
-				return fmt.Errorf("core: entry %d in SQI %d loop is tagged SQI %d", idx, sqi, e.SQI)
+			if int(b.sqi[idx]) != sqi {
+				return fmt.Errorf("core: entry %d in SQI %d loop is tagged SQI %d", idx, sqi, b.sqi[idx])
 			}
 			if seen[idx] {
 				return fmt.Errorf("core: specBuf entry %d reached twice (broken loop)", idx)
 			}
 			seen[idx] = true
 			reachable++
-			if steps > len(b.entries) {
+			if steps > n {
 				return fmt.Errorf("core: SQI %d loop does not close", sqi)
 			}
-			idx = e.Next
+			idx = int(b.next[idx])
 			if idx == int(head) {
 				break
 			}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"spamer/internal/vl"
+)
+
+// checkBuf builds a small populated specBuf: two entries on SQI 1, one on
+// SQI 2, leaving one free slot.
+func checkBuf(t *testing.T) *SpecBuf {
+	t.Helper()
+	b := NewSpecBuf(4, ZeroDelay{})
+	if err := b.Register(1, 0x100, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(1, 0x300, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(2, 0x500, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckStructure(); err != nil {
+		t.Fatalf("fresh buffer fails structure check: %v", err)
+	}
+	return b
+}
+
+// TestCheckStructureViolations corrupts one invariant at a time and
+// verifies CheckStructure reports it with the expected message.
+func TestCheckStructureViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(b *SpecBuf)
+		want    string
+	}{
+		{"columns-disagree", func(b *SpecBuf) {
+			b.sqi = b.sqi[:len(b.sqi)-1]
+		}, "columns disagree"},
+		{"undefined-flag-bits", func(b *SpecBuf) {
+			b.flags[0] |= 1 << 7
+		}, "undefined flag bits"},
+		{"onfly-not-valid", func(b *SpecBuf) {
+			b.flags[b.free[0]] = entOnFly
+		}, "on-fly but not valid"},
+		{"zero-segment", func(b *SpecBuf) {
+			b.size[0] = 0
+		}, "segment length"},
+		{"offset-outside-segment", func(b *SpecBuf) {
+			b.off[0] = b.size[0]
+		}, "Offset"},
+		{"live-counter-mismatch", func(b *SpecBuf) {
+			b.live++
+		}, "live counter says"},
+		{"high-water-below-live", func(b *SpecBuf) {
+			b.highWater = b.live - 1
+		}, "high-water"},
+		{"high-water-above-capacity", func(b *SpecBuf) {
+			b.highWater = len(b.flags) + 1
+		}, "high-water"},
+		{"partition-broken", func(b *SpecBuf) {
+			b.free = b.free[:0]
+			b.live = len(b.flags) - 1 // keep the live check quiet
+		}, "!="},
+		{"free-out-of-range", func(b *SpecBuf) {
+			b.free[0] = int32(len(b.flags))
+		}, "out-of-range"},
+		{"free-but-valid", func(b *SpecBuf) {
+			// Swap validity between the free slot and a valid entry so the
+			// counts balance and only the free-list clash remains.
+			idx := b.free[0]
+			b.flags[idx] = entValid
+			b.size[idx] = 1
+			b.flags[b.specHead[2]] = 0
+		}, "on free list but valid"},
+		{"loop-reaches-invalid", func(b *SpecBuf) {
+			// Invalidate an SQI-1 entry without unlinking it.
+			idx := b.specHead[1]
+			b.flags[idx] = 0
+			b.live--
+			b.free = append(b.free, idx)
+		}, "loop reaches invalid"},
+		{"loop-wrong-sqi", func(b *SpecBuf) {
+			b.sqi[b.specHead[1]] = 7
+		}, "tagged SQI"},
+		{"loop-does-not-close", func(b *SpecBuf) {
+			// Make the second SQI-1 entry loop on itself instead of closing
+			// back at the head: the walk revisits it.
+			h := b.specHead[1]
+			b.next[b.next[h]] = b.next[h]
+		}, "reached twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := checkBuf(t)
+			tc.corrupt(b)
+			err := b.CheckStructure()
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %q, want message containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestHighWaterTracksPeak drives occupancy up and down and checks the
+// high-water mark latches the peak, not the current count.
+func TestHighWaterTracksPeak(t *testing.T) {
+	b := NewSpecBuf(4, ZeroDelay{})
+	for s := vl.SQI(1); s <= 3; s++ {
+		if err := b.Register(s, 0x100, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.HighWater(); got != 3 {
+		t.Fatalf("high-water after 3 registers = %d, want 3", got)
+	}
+	b.Unregister(2)
+	b.Unregister(3)
+	if got := b.Entries(); got != 1 {
+		t.Fatalf("entries after unregister = %d, want 1", got)
+	}
+	if got := b.HighWater(); got != 3 {
+		t.Fatalf("high-water latched %d, want 3", got)
+	}
+	if err := b.CheckStructure(); err != nil {
+		t.Fatalf("structure after churn: %v", err)
+	}
+}

@@ -17,6 +17,9 @@ import (
 // SpecEntry is one specBuf row (Figure 4, red): a registered segment of
 // consumer lines the SRD may speculatively push to, plus the prediction
 // state the tuned algorithm latches per entry (Figure 6, yellow).
+//
+// SpecEntry is the inspection snapshot returned by Entry; the buffer
+// itself stores rows struct-of-arrays (see SpecBuf).
 type SpecEntry struct {
 	Valid bool
 	SQI   vl.SQI
@@ -55,18 +58,44 @@ type PredState struct {
 	Failed bool   // whether the previous push missed
 }
 
+// entry flag bits packed into SpecBuf.flags: one byte per entry holds
+// both the Valid and OnFly bits, so the Stage-2/3 select walk reads one
+// dense byte array instead of striding over fat rows.
+const (
+	entValid uint8 = 1 << 0
+	entOnFly uint8 = 1 << 1
+)
+
 // SpecBuf is the speculative-target store plus the specHead column that
 // linkTabSpec adds to linkTab.
+//
+// Rows are stored struct-of-arrays: the select walk of SelectTarget
+// touches only flags (valid|on-fly, one byte per entry) and next (the
+// SQI loop links, four bytes per entry) — for the 64-entry Table 1
+// configuration that is two cache lines of the host in total, versus one
+// line per entry with array-of-structs rows. The remaining columns
+// (segment geometry, prediction state) are read only for the entry the
+// walk settles on.
 type SpecBuf struct {
-	entries []SpecEntry
-	free    []int
+	flags []uint8  // hot: entValid|entOnFly per entry
+	next  []int32  // hot: circular per-SQI loop links
+	sqi   []vl.SQI // cold columns, indexed like flags
+	base  []mem.Addr
+	size  []int32 // registered segment length (lines)
+	off   []int32 // next push offset within the segment
+	pred  []PredState
+
+	free []int32
 	// specHead is the linkTabSpec.specHead column, indexed directly by
 	// SQI. The SQI space is small and bounded by config, so a dense slice
 	// (-1 = no entries) replaces the previous map and keeps Stage 3's
 	// target selection free of map hashing. The slice grows on demand to
 	// the highest SQI ever registered.
 	specHead []int32
-	alg      DelayAlgorithm
+
+	live      int // currently valid entries
+	highWater int // maximum simultaneously valid entries ever
+	alg       DelayAlgorithm
 }
 
 // NewSpecBuf returns a specBuf with n entries (Table 1: 64) driven by the
@@ -76,11 +105,18 @@ func NewSpecBuf(n int, alg DelayAlgorithm) *SpecBuf {
 		n = config.SRDEntries
 	}
 	b := &SpecBuf{
-		entries: make([]SpecEntry, n),
-		alg:     alg,
+		flags: make([]uint8, n),
+		next:  make([]int32, n),
+		sqi:   make([]vl.SQI, n),
+		base:  make([]mem.Addr, n),
+		size:  make([]int32, n),
+		off:   make([]int32, n),
+		pred:  make([]PredState, n),
+		free:  make([]int32, 0, n),
+		alg:   alg,
 	}
 	for i := n - 1; i >= 0; i-- {
-		b.free = append(b.free, i)
+		b.free = append(b.free, int32(i))
 	}
 	return b
 }
@@ -118,27 +154,29 @@ func (b *SpecBuf) Register(sqi vl.SQI, base mem.Addr, n int) error {
 		// §4.5: "if there is a situation where the workloads register
 		// more specBuf entries, the operating system needs to manage
 		// the specBuf as other limited resources".
-		return fmt.Errorf("core: specBuf exhausted (%d entries)", len(b.entries))
+		return fmt.Errorf("core: specBuf exhausted (%d entries)", len(b.flags))
 	}
-	idx := b.free[len(b.free)-1]
+	idx := int(b.free[len(b.free)-1])
 	b.free = b.free[:len(b.free)-1]
-	e := &b.entries[idx]
-	*e = SpecEntry{
-		Valid: true,
-		SQI:   sqi,
-		Base:  base,
-		Len:   n,
-		Pred:  b.alg.Initial(),
+	b.flags[idx] = entValid
+	b.sqi[idx] = sqi
+	b.base[idx] = base
+	b.size[idx] = int32(n)
+	b.off[idx] = 0
+	b.pred[idx] = b.alg.Initial()
+	b.live++
+	if b.live > b.highWater {
+		b.highWater = b.live
 	}
 	head, ok := b.headOf(sqi)
 	if !ok {
-		e.Next = idx // singleton loop
+		b.next[idx] = int32(idx) // singleton loop
 		b.setHead(sqi, idx)
 		return nil
 	}
 	// Insert after the current head, keeping the loop closed.
-	e.Next = b.entries[head].Next
-	b.entries[head].Next = idx
+	b.next[idx] = b.next[head]
+	b.next[head] = int32(idx)
 	return nil
 }
 
@@ -150,9 +188,16 @@ func (b *SpecBuf) Unregister(sqi vl.SQI) {
 	}
 	idx := head
 	for {
-		next := b.entries[idx].Next
-		b.entries[idx] = SpecEntry{Next: 0}
-		b.free = append(b.free, idx)
+		next := int(b.next[idx])
+		b.flags[idx] = 0
+		b.next[idx] = 0
+		b.sqi[idx] = 0
+		b.base[idx] = 0
+		b.size[idx] = 0
+		b.off[idx] = 0
+		b.pred[idx] = PredState{}
+		b.free = append(b.free, int32(idx))
+		b.live--
 		if next == head {
 			break
 		}
@@ -173,18 +218,17 @@ func (b *SpecBuf) SelectTarget(sqi vl.SQI, now uint64) (addr mem.Addr, cookie in
 	}
 	idx := head
 	for {
-		e := &b.entries[idx]
-		if e.Valid && !e.OnFly {
-			addr = e.Base + mem.Addr(e.Offset*config.LineBytes)
-			sendTick = b.alg.SendTick(&e.Pred, now)
+		if b.flags[idx] == entValid { // valid and not on-fly
+			addr = b.base[idx] + mem.Addr(int(b.off[idx])*config.LineBytes)
+			sendTick = b.alg.SendTick(&b.pred[idx], now)
 			if cap := now + config.DelayCapCycles; sendTick > cap {
 				sendTick = cap
 			}
-			e.OnFly = true
-			b.specHead[sqi] = int32(e.Next)
+			b.flags[idx] |= entOnFly
+			b.specHead[sqi] = b.next[idx]
 			return addr, idx, sendTick, true
 		}
-		idx = e.Next
+		idx = int(b.next[idx])
 		if idx == head {
 			return 0, 0, 0, false
 		}
@@ -194,33 +238,29 @@ func (b *SpecBuf) SelectTarget(sqi vl.SQI, now uint64) (addr mem.Addr, cookie in
 // OnResult implements vl.SpecExtension: clear the on-fly throttle, rotate
 // Offset on success, and feed the outcome to the delay algorithm.
 func (b *SpecBuf) OnResult(cookie int, hit bool, now uint64) {
-	e := &b.entries[cookie]
-	if !e.Valid {
+	if b.flags[cookie]&entValid == 0 {
 		return // unregistered while in flight
 	}
-	e.OnFly = false
+	b.flags[cookie] &^= entOnFly
 	if hit {
-		e.Offset++
-		if e.Offset >= e.Len {
-			e.Offset = 0
+		b.off[cookie]++
+		if b.off[cookie] >= b.size[cookie] {
+			b.off[cookie] = 0
 		}
 	}
-	b.alg.OnResponse(&e.Pred, hit, now)
+	b.alg.OnResponse(&b.pred[cookie], hit, now)
 }
 
 // Entries returns the number of valid entries (for tests/diagnostics).
-func (b *SpecBuf) Entries() int {
-	n := 0
-	for i := range b.entries {
-		if b.entries[i].Valid {
-			n++
-		}
-	}
-	return n
-}
+func (b *SpecBuf) Entries() int { return b.live }
 
 // FreeEntries reports the remaining capacity.
 func (b *SpecBuf) FreeEntries() int { return len(b.free) }
+
+// HighWater reports the maximum number of simultaneously valid entries
+// the buffer has ever held — the occupancy peak the §4.5 resource
+// discussion would size specBuf by.
+func (b *SpecBuf) HighWater() int { return b.highWater }
 
 // EntriesOf returns the entry indices of an SQI in loop order starting at
 // the current specHead. Intended for tests.
@@ -233,14 +273,25 @@ func (b *SpecBuf) EntriesOf(sqi vl.SQI) []int {
 	idx := head
 	for {
 		out = append(out, idx)
-		idx = b.entries[idx].Next
+		idx = int(b.next[idx])
 		if idx == head {
 			return out
 		}
 	}
 }
 
-// Entry returns a copy of entry i for inspection.
-func (b *SpecBuf) Entry(i int) SpecEntry { return b.entries[i] }
+// Entry returns a snapshot of entry i for inspection.
+func (b *SpecBuf) Entry(i int) SpecEntry {
+	return SpecEntry{
+		Valid:  b.flags[i]&entValid != 0,
+		SQI:    b.sqi[i],
+		Base:   b.base[i],
+		Len:    int(b.size[i]),
+		Offset: int(b.off[i]),
+		Next:   int(b.next[i]),
+		OnFly:  b.flags[i]&entOnFly != 0,
+		Pred:   b.pred[i],
+	}
+}
 
 var _ vl.SpecExtension = (*SpecBuf)(nil)

@@ -49,6 +49,22 @@ type Ops interface {
 	Fetch(p *sim.Proc, port Port, sqi vl.SQI, target mem.Addr)
 	Register(p *sim.Proc, sqi vl.SQI, base mem.Addr, n int)
 	Stats() Stats
+
+	// Continuation-passing forms. The blocking forms above charge the
+	// op's core-side cycles with p.Sleep, splitting each op across a
+	// goroutine handoff; the vlq endpoint state machines instead charge
+	// the same cycles with their own AfterFunc events and call these
+	// halves directly from the kernel goroutine. NoteX runs at the op's
+	// issue tick (the counter bump the blocking form does before its
+	// Sleep); EnqueueX runs when the charged cycles have elapsed (the
+	// device write the blocking form does after its Sleep returns). The
+	// split leaves the event schedule — and therefore the dispatch
+	// trace — bit-identical to the blocking forms.
+	NoteSelect()
+	NotePush()
+	NoteFetch()
+	EnqueuePush(port Port, sqi vl.SQI, msg mem.Message, accepted func())
+	EnqueueFetch(port Port, sqi vl.SQI, target mem.Addr)
 }
 
 // ISA issues the VL/SPAMeR operations against one routing device.
@@ -225,6 +241,27 @@ func (i *ISA) Fetch(p *sim.Proc, port Port, sqi vl.SQI, target mem.Addr) {
 	i.stats.Fetches++
 	p.Sleep(config.VLFetchCycles)
 	snd.enqueue(senderOp{sqi: sqi, target: target})
+}
+
+// NoteSelect is the continuation-passing half of Select: issue
+// bookkeeping only, cycles charged by the caller's own event.
+func (i *ISA) NoteSelect() { i.stats.Selects++ }
+
+// NotePush is the continuation-passing issue half of Push.
+func (i *ISA) NotePush() { i.stats.Pushes++ }
+
+// NoteFetch is the continuation-passing issue half of Fetch.
+func (i *ISA) NoteFetch() { i.stats.Fetches++ }
+
+// EnqueuePush is the continuation-passing completion half of Push: the
+// device write, issued once the caller's charged cycles have elapsed.
+func (i *ISA) EnqueuePush(port Port, sqi vl.SQI, msg mem.Message, accepted func()) {
+	port.(*Sender).enqueue(senderOp{sqi: sqi, msg: msg, accepted: accepted, push: true})
+}
+
+// EnqueueFetch is the continuation-passing completion half of Fetch.
+func (i *ISA) EnqueueFetch(port Port, sqi vl.SQI, target mem.Addr) {
+	port.(*Sender).enqueue(senderOp{sqi: sqi, target: target})
 }
 
 // Register models spamer_register: "a vl_fetch instruction writing to

@@ -189,6 +189,25 @@ func (r *RemoteISA) Fetch(p *sim.Proc, port Port, sqi vl.SQI, target mem.Addr) {
 	snd.enqueue(remoteOp{sqi: sqi, target: target})
 }
 
+// NoteSelect is the continuation-passing half of Select (see Ops).
+func (r *RemoteISA) NoteSelect() { r.stats.Selects++ }
+
+// NotePush is the continuation-passing issue half of Push.
+func (r *RemoteISA) NotePush() { r.stats.Pushes++ }
+
+// NoteFetch is the continuation-passing issue half of Fetch.
+func (r *RemoteISA) NoteFetch() { r.stats.Fetches++ }
+
+// EnqueuePush is the continuation-passing completion half of Push.
+func (r *RemoteISA) EnqueuePush(port Port, sqi vl.SQI, msg mem.Message, accepted func()) {
+	port.(*RemoteSender).enqueue(remoteOp{sqi: sqi, msg: msg, accepted: accepted, push: true})
+}
+
+// EnqueueFetch is the continuation-passing completion half of Fetch.
+func (r *RemoteISA) EnqueueFetch(port Port, sqi vl.SQI, target mem.Addr) {
+	port.(*RemoteSender).enqueue(remoteOp{sqi: sqi, target: target})
+}
+
 // Register models spamer_register: fire-and-forget to the hub, where a
 // failure (specBuf exhausted) panics like a same-domain register would.
 func (r *RemoteISA) Register(p *sim.Proc, sqi vl.SQI, base mem.Addr, n int) {

@@ -1,0 +1,71 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"spamer/internal/config"
+	"spamer/internal/sim"
+)
+
+// TestAddressSpaceCheckStructure corrupts the arena bookkeeping one
+// invariant at a time and verifies CheckStructure reports each.
+func TestAddressSpaceCheckStructure(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(as *AddressSpace)
+		want    string
+	}{
+		{"healthy", func(as *AddressSpace) {}, ""},
+		{"cold-slab-missing", func(as *AddressSpace) {
+			as.cold = as.cold[:0]
+		}, "cold chunks"},
+		{"count-exceeds-slabs", func(as *AddressSpace) {
+			as.n = len(as.chunks)*linesPerChunk + 1
+		}, "slabs hold"},
+		{"dangling-empty-chunk", func(as *AddressSpace) {
+			as.chunks = append(as.chunks, new([linesPerChunk]Line))
+			as.cold = append(as.cold, new([linesPerChunk]lineStats))
+		}, "slabs hold"},
+		{"cursor-off", func(as *AddressSpace) {
+			as.next += Addr(config.LineBytes)
+		}, "address cursor"},
+		{"cold-row-unpaired", func(as *AddressSpace) {
+			as.chunks[0][0].cold = &lineStats{}
+		}, "not paired"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			as := NewAddressSpace(sim.New())
+			as.NewPage(3)
+			as.NewPage(2)
+			tc.corrupt(as)
+			err := as.CheckStructure()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("healthy arena fails: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %q, want message containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestAddressSpaceCheckAcrossChunks fills past one chunk boundary so the
+// walk exercises multi-chunk pairing.
+func TestAddressSpaceCheckAcrossChunks(t *testing.T) {
+	as := NewAddressSpace(sim.New())
+	as.NewPage(linesPerChunk + 7)
+	if err := as.CheckStructure(); err != nil {
+		t.Fatalf("multi-chunk arena fails: %v", err)
+	}
+	if got, want := len(as.chunks), 2; got != want {
+		t.Fatalf("chunks = %d, want %d", got, want)
+	}
+}

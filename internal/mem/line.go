@@ -56,9 +56,16 @@ type Message struct {
 	Payload uint64
 }
 
-// Line is one endpoint cache line. It tracks occupancy with exact
-// timestamps so the harness can integrate empty/non-empty durations
-// (Figure 9) and the tracer can emit vacate/fill events (Figure 7).
+// Line is one endpoint cache line, split hot/cold: the fields the
+// per-message path touches (occupancy state, the message word, the fill
+// signal) live here, by value, inside the AddressSpace's dense chunk
+// slab; the accounting integrals and trace hooks — read only at
+// collection time or on state transitions — live in a parallel cold slab
+// (lineStats) reached through one pointer. The split keeps the data a
+// push-probe or pop-check actually reads within the first host cache
+// lines of the struct, and the OnFill signal lives inline rather than as
+// a separate heap object, so checking and waking a line chases no
+// pointers.
 type Line struct {
 	Addr  Addr
 	State LineState
@@ -67,8 +74,17 @@ type Line struct {
 	k *sim.Kernel
 
 	// OnFill fires when a message lands in the line (consumer wake-up).
-	OnFill *sim.Signal
+	OnFill sim.Signal
 
+	evictedMsg bool // the evicted line held an unconsumed message
+
+	cold *lineStats
+}
+
+// lineStats is the cold half of a Line: Figure 9 occupancy integrals,
+// Figure 7 trace state, and the eviction/fill counters. Rows live in a
+// slab parallel to the line chunks (or alone for NewLine).
+type lineStats struct {
 	lastChange  uint64 // tick of the last state transition
 	emptyTicks  uint64 // accumulated ticks spent empty (or evicted)
 	validTicks  uint64 // accumulated ticks spent holding a message
@@ -77,7 +93,6 @@ type Line struct {
 	evictions   uint64
 	fillTick    uint64 // tick of the most recent fill
 	vacateTick  uint64 // tick of the most recent vacate
-	evictedMsg  bool   // the evicted line held an unconsumed message
 	firstUse    func(tick uint64, msg Message)
 	traceVacate func(tick uint64)
 	traceFill   func(tick uint64, msg Message)
@@ -86,38 +101,41 @@ type Line struct {
 // NewLine returns an empty line at the given address.
 func NewLine(k *sim.Kernel, addr Addr) *Line {
 	l := &Line{}
-	l.init(k, addr)
+	l.init(k, addr, &lineStats{})
 	return l
 }
 
-// init places an empty line at addr into existing storage. AddressSpace
-// uses it to construct lines in place inside its dense chunk table.
-func (l *Line) init(k *sim.Kernel, addr Addr) {
+// init places an empty line at addr into existing storage, with cold as
+// its stats row. AddressSpace uses it to construct lines in place inside
+// its dense chunk slab, pairing each line with the matching row of the
+// cold slab.
+func (l *Line) init(k *sim.Kernel, addr Addr, cold *lineStats) {
 	*l = Line{
-		Addr:       addr,
-		State:      LineEmpty,
-		k:          k,
-		OnFill:     sim.NewSignal(fmt.Sprintf("line[%#x].fill", uint64(addr))),
-		lastChange: k.Now(),
+		Addr:  addr,
+		State: LineEmpty,
+		k:     k,
+		cold:  cold,
 	}
+	*cold = lineStats{lastChange: k.Now()}
 }
 
 // SetTraceHooks installs optional per-event callbacks used by the Figure 7
 // tracer. Any hook may be nil.
 func (l *Line) SetTraceHooks(fill func(tick uint64, msg Message), vacate func(tick uint64), firstUse func(tick uint64, msg Message)) {
-	l.traceFill = fill
-	l.traceVacate = vacate
-	l.firstUse = firstUse
+	l.cold.traceFill = fill
+	l.cold.traceVacate = vacate
+	l.cold.firstUse = firstUse
 }
 
 func (l *Line) account() {
-	d := l.k.Now() - l.lastChange
+	c := l.cold
+	d := l.k.Now() - c.lastChange
 	if l.State == LineValid {
-		l.validTicks += d
+		c.validTicks += d
 	} else {
-		l.emptyTicks += d
+		c.emptyTicks += d
 	}
-	l.lastChange = l.k.Now()
+	c.lastChange = l.k.Now()
 }
 
 // TryFill attempts to stash a message into the line, as the routing device
@@ -130,10 +148,10 @@ func (l *Line) TryFill(msg Message) bool {
 	l.account()
 	l.State = LineValid
 	l.Msg = msg
-	l.fills++
-	l.fillTick = l.k.Now()
-	if l.traceFill != nil {
-		l.traceFill(l.k.Now(), msg)
+	l.cold.fills++
+	l.cold.fillTick = l.k.Now()
+	if l.cold.traceFill != nil {
+		l.cold.traceFill(l.k.Now(), msg)
 	}
 	l.OnFill.Fire()
 	return true
@@ -150,10 +168,10 @@ func (l *Line) Take() Message {
 	msg := l.Msg
 	l.State = LineEmpty
 	l.Msg = Message{}
-	l.vacates++
-	l.vacateTick = l.k.Now()
-	if l.traceVacate != nil {
-		l.traceVacate(l.k.Now())
+	l.cold.vacates++
+	l.cold.vacateTick = l.k.Now()
+	if l.cold.traceVacate != nil {
+		l.cold.traceVacate(l.k.Now())
 	}
 	return msg
 }
@@ -161,8 +179,8 @@ func (l *Line) Take() Message {
 // NoteFirstUse records the consumer's first use of the current message
 // (the topmost marker row of Figure 7).
 func (l *Line) NoteFirstUse(msg Message) {
-	if l.firstUse != nil {
-		l.firstUse(l.k.Now(), msg)
+	if l.cold.firstUse != nil {
+		l.cold.firstUse(l.k.Now(), msg)
 	}
 }
 
@@ -178,7 +196,7 @@ func (l *Line) Evict() {
 	l.account()
 	l.evictedMsg = l.State == LineValid
 	l.State = LineEvicted
-	l.evictions++
+	l.cold.evictions++
 	l.OnFill.Fire()
 }
 
@@ -201,8 +219,9 @@ func (l *Line) Touch() {
 // Occupancy returns the accumulated (emptyTicks, validTicks) including the
 // in-progress interval up to the current tick.
 func (l *Line) Occupancy() (empty, valid uint64) {
-	d := l.k.Now() - l.lastChange
-	empty, valid = l.emptyTicks, l.validTicks
+	c := l.cold
+	d := l.k.Now() - c.lastChange
+	empty, valid = c.emptyTicks, c.validTicks
 	if l.State == LineValid {
 		valid += d
 	} else {
@@ -212,16 +231,16 @@ func (l *Line) Occupancy() (empty, valid uint64) {
 }
 
 // Fills reports the number of successful pushes into the line.
-func (l *Line) Fills() uint64 { return l.fills }
+func (l *Line) Fills() uint64 { return l.cold.fills }
 
 // Vacates reports the number of Take calls.
-func (l *Line) Vacates() uint64 { return l.vacates }
+func (l *Line) Vacates() uint64 { return l.cold.vacates }
 
 // Evictions reports the number of Evict calls that changed state.
-func (l *Line) Evictions() uint64 { return l.evictions }
+func (l *Line) Evictions() uint64 { return l.cold.evictions }
 
 // FillTick reports the tick of the most recent fill.
-func (l *Line) FillTick() uint64 { return l.fillTick }
+func (l *Line) FillTick() uint64 { return l.cold.fillTick }
 
 // VacateTick reports the tick of the most recent vacate.
-func (l *Line) VacateTick() uint64 { return l.vacateTick }
+func (l *Line) VacateTick() uint64 { return l.cold.vacateTick }

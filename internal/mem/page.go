@@ -25,16 +25,21 @@ const linesPerChunk = 256
 // cache-line addresses, and resolves addresses back to lines (the routing
 // device needs this to deliver stashes).
 //
-// Lines are stored by value in fixed-size chunks and indexed by the
-// allocation order implied by the address, so Lookup is two shifts and
-// two loads — no map hashing, no per-line heap object — and neighbouring
-// lines of a page share cache lines of the host.
+// The space is the per-domain line arena: lines are stored by value in
+// fixed-size chunks and indexed by the allocation order implied by the
+// address, so Lookup is two shifts and two loads — no map hashing, no
+// per-line heap object — and neighbouring lines of a page share cache
+// lines of the host. Each line's cold accounting half lives in a slab
+// parallel to the hot chunks (see Line), and because every simulation
+// domain owns a distinct AddressSpace, both slabs are written by exactly
+// one worker lane: domains never false-share line state.
 type AddressSpace struct {
 	k      *sim.Kernel
 	base   Addr
 	next   Addr
-	n      int // allocated lines
+	n      int // allocated lines; the arena's high-water mark (lines are never freed)
 	chunks []*[linesPerChunk]Line
+	cold   []*[linesPerChunk]lineStats
 }
 
 // NewAddressSpace returns an empty address space starting at a non-zero
@@ -69,14 +74,41 @@ func (as *AddressSpace) NewPage(n int) *Page {
 	for i := range p.Lines {
 		if as.n%linesPerChunk == 0 {
 			as.chunks = append(as.chunks, new([linesPerChunk]Line))
+			as.cold = append(as.cold, new([linesPerChunk]lineStats))
 		}
 		l := &as.chunks[as.n/linesPerChunk][as.n%linesPerChunk]
-		l.init(as.k, as.next)
+		l.init(as.k, as.next, &as.cold[as.n/linesPerChunk][as.n%linesPerChunk])
 		p.Lines[i] = l
 		as.n++
 		as.next += Addr(config.LineBytes)
 	}
 	return p
+}
+
+// CheckStructure validates the arena's slab bookkeeping: the hot and
+// cold slabs stay paired chunk for chunk, the allocation count (the
+// high-water mark — lines are never freed) fits the slabs exactly, every
+// allocated line is linked to its matching cold row, and the address
+// cursor agrees with the count. The oracle's structural walks call it
+// alongside the device and specBuf walks.
+func (as *AddressSpace) CheckStructure() error {
+	if len(as.chunks) != len(as.cold) {
+		return fmt.Errorf("mem: %d hot chunks but %d cold chunks", len(as.chunks), len(as.cold))
+	}
+	have := len(as.chunks) * linesPerChunk
+	if as.n > have || have-as.n >= linesPerChunk {
+		return fmt.Errorf("mem: %d lines allocated but slabs hold %d slots", as.n, have)
+	}
+	if want := as.base + Addr((as.n+1)*config.LineBytes); as.next != want {
+		return fmt.Errorf("mem: address cursor %#x, want %#x for %d lines", uint64(as.next), uint64(want), as.n)
+	}
+	for i := 0; i < as.n; i++ {
+		l := &as.chunks[i/linesPerChunk][i%linesPerChunk]
+		if l.cold != &as.cold[i/linesPerChunk][i%linesPerChunk] {
+			return fmt.Errorf("mem: line %d (%#x) not paired with its cold row", i, uint64(l.Addr))
+		}
+	}
+	return nil
 }
 
 // Lookup resolves a line address. It panics on unknown addresses: the

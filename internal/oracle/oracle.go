@@ -202,7 +202,8 @@ func (c *Checker) Pop(q *vlq.Queue, consumer int, tick uint64, msg mem.Message) 
 	}
 }
 
-// checkStructuresLocked walks every device and specBuf table.
+// checkStructuresLocked walks every device table, specBuf table, and
+// line-arena slab.
 func (c *Checker) checkStructuresLocked(when string) {
 	for i, d := range c.sys.Devices() {
 		if err := d.CheckStructure(); err != nil {
@@ -215,6 +216,13 @@ func (c *Checker) checkStructuresLocked(when string) {
 		if err := b.CheckStructure(); err != nil {
 			c.report(Violation{Invariant: "specbuf-structure",
 				Detail: fmt.Sprintf("%s, specBuf %d: %v", when, i, err)})
+			return
+		}
+	}
+	for i, as := range c.sys.AddressSpaces() {
+		if err := as.CheckStructure(); err != nil {
+			c.report(Violation{Invariant: "arena-structure",
+				Detail: fmt.Sprintf("%s, arena %d: %v", when, i, err)})
 			return
 		}
 	}

@@ -50,14 +50,29 @@ type crossMsg struct {
 	a3   uint64
 }
 
+// outLane is one source domain's cross-message staging area: the
+// quantum-local outbox plus the per-source sequence counter that makes
+// the barrier merge order total. Each lane is written only by the
+// goroutine executing its source domain, so lanes are padded to a full
+// host cache line — two lanes appending concurrently from different
+// worker cores must not false-share the slice headers and counters.
+type outLane struct {
+	buf []crossMsg // filled during a quantum, drained at the barrier
+	seq uint64     // per-source message counter
+	_   [64 - (3*8+8)%64]byte
+}
+
 // inboxPool holds injected-but-undelivered cross messages of one
 // destination domain. Slots are recycled through a free list so the
 // steady state allocates nothing; the pool is written by the coordinator
 // (at barriers) and read by the domain's executing goroutine (during
-// quanta), which the fork/join channel handoffs order.
+// quanta), which the fork/join channel handoffs order. The pad keeps
+// neighbouring pools on distinct host cache lines for the same reason as
+// outLane: each pool's slices are chased by a different worker core.
 type inboxPool struct {
 	slots []crossMsg
 	free  []int32
+	_     [64 - (2*3*8)%64]byte
 }
 
 func (ib *inboxPool) put(m crossMsg) uint64 {
@@ -126,9 +141,8 @@ type ParallelKernel struct {
 	lookahead uint64
 	workers   int // requested lanes; clamped to [1, len(doms)] and GOMAXPROCS
 
-	outbox [][]crossMsg // per source domain, filled during a quantum
-	outSeq []uint64     // per source domain message counter
-	inbox  []inboxPool  // per destination domain
+	out    []outLane   // per source domain, single-writer during a quantum
+	inbox  []inboxPool // per destination domain
 	inbFns []func(uint64)
 
 	merged []crossMsg // barrier scratch, reused
@@ -156,8 +170,7 @@ func NewParallel(domains int, lookahead uint64, workers int) *ParallelKernel {
 		doms:      make([]*Kernel, domains),
 		lookahead: lookahead,
 		workers:   workers,
-		outbox:    make([][]crossMsg, domains),
-		outSeq:    make([]uint64, domains),
+		out:       make([]outLane, domains),
 		inbox:     make([]inboxPool, domains),
 		inbFns:    make([]func(uint64), domains),
 	}
@@ -219,9 +232,10 @@ func (pk *ParallelKernel) Post(src, dst int, tick uint64, fn func(a0, a1, a2, a3
 		panic(fmt.Sprintf("sim: cross-domain post from %d to %d at tick %d violates lookahead %d (src now %d)",
 			src, dst, tick, pk.lookahead, k.now))
 	}
-	pk.outSeq[src]++
-	pk.outbox[src] = append(pk.outbox[src], crossMsg{
-		tick: tick, seq: pk.outSeq[src], src: int32(src), dst: int32(dst),
+	lane := &pk.out[src]
+	lane.seq++
+	lane.buf = append(lane.buf, crossMsg{
+		tick: tick, seq: lane.seq, src: int32(src), dst: int32(dst),
 		fn: fn, a0: a0, a1: a1, a2: a2, a3: a3,
 	})
 }
@@ -266,9 +280,9 @@ func (pk *ParallelKernel) mergeOutboxes() {
 		pk.inbox[d].shrink()
 	}
 	m := pk.merged[:0]
-	for src := range pk.outbox {
-		m = append(m, pk.outbox[src]...)
-		pk.outbox[src] = pk.outbox[src][:0]
+	for src := range pk.out {
+		m = append(m, pk.out[src].buf...)
+		pk.out[src].buf = pk.out[src].buf[:0]
 	}
 	if len(m) == 0 {
 		pk.merged = m

@@ -22,8 +22,8 @@ type Proc struct {
 	started    bool
 	finished   bool
 	aborted    bool
-	wakes      uint64 // diagnostic: number of times resumed
-	waitGen    uint64 // current wait token; see armWait
+	wakes      uint64   // diagnostic: number of times resumed
+	cell       WaitCell // wake-token state shared with kernel-side waiters
 }
 
 // procAbort is the panic value used to unwind an abandoned process.
@@ -39,6 +39,7 @@ func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
 		sync: make(chan struct{}),
 	}
 	p.dispatchFn = func(uint64) { p.dispatch() }
+	p.cell.Init(k, p.dispatchFn)
 	k.procs = append(k.procs, p)
 	k.live++
 	k.After(0, func() {
@@ -120,25 +121,65 @@ func (p *Proc) Sleep(d uint64) {
 }
 
 // armWait issues a wake token for the process's next park. A waker that
-// still holds the current token (fireWait with a matching gen) wakes the
+// still holds the current token (a fire with a matching gen) wakes the
 // process; issuing a new token or firing spends the old one, so a process
 // parked on several signals (WaitAny) wakes exactly once and stale
 // wake-ups are ignored. Tokens replace the per-wait closure the seed
 // kernel allocated (waitPoint), making Wait/Fire allocation-free.
-func (p *Proc) armWait() uint64 {
-	p.waitGen++
-	return p.waitGen
+func (p *Proc) armWait() uint64 { return p.cell.arm(0) }
+
+// Park parks the calling process until a kernel-side continuation hands
+// control back with Unpark. It is the blocking half of the
+// continuation-passing endpoint operations (internal/vlq): the operation
+// schedules its first step with AfterFunc, Parks the body, runs its
+// intermediate steps as plain events on the kernel goroutine, and the
+// final step calls Unpark — one goroutine handoff per operation instead
+// of one per step, with the event schedule unchanged.
+func (p *Proc) Park() { p.yield() }
+
+// Unpark resumes a process parked with Park. It must be called from the
+// kernel goroutine (inside an event callback), never from another
+// process; control transfers to the parked body immediately and returns
+// here when the body next blocks — exactly as if the running event had
+// been the process's own wake event.
+func (p *Proc) Unpark() { p.dispatch() }
+
+// WaitCell is the kernel-side analogue of a parked process: a wake token
+// plus the continuation to schedule when it is spent. Procs embed one
+// (continuation = the proc's dispatch); continuation-passing endpoint
+// operations embed their own with the state-machine step as the
+// continuation. Firing a cell schedules the continuation with AfterFunc
+// at delay 0 — the same event a woken process would cost — so replacing a
+// parked process with a cell leaves the dispatch trace bit-identical.
+type WaitCell struct {
+	k   *Kernel
+	fn  func(uint64)
+	arg uint64
+	gen uint64
 }
 
-// fireWait wakes the process if gen is its current wait token; spent
-// tokens are ignored. Waking schedules the resumption at the waker's
-// current tick.
-func (p *Proc) fireWait(gen uint64) {
-	if gen != p.waitGen {
+// Init binds the cell to its kernel and continuation once, before use.
+func (c *WaitCell) Init(k *Kernel, fn func(uint64)) {
+	c.k = k
+	c.fn = fn
+}
+
+// arm issues a fresh wake token carrying arg to the continuation; any
+// previously issued token is spent.
+func (c *WaitCell) arm(arg uint64) uint64 {
+	c.gen++
+	c.arg = arg
+	return c.gen
+}
+
+// fire schedules the continuation if gen is the cell's current token;
+// spent tokens are ignored.
+func (c *WaitCell) fire(gen uint64) {
+	if gen != c.gen {
 		return
 	}
-	p.waitGen++ // spend the token: further fires are no-ops
-	p.k.AfterFunc(0, p.dispatchFn, 0)
+	c.gen++ // spend the token: further fires are no-ops
+	c.k.AfterFunc(0, c.fn, c.arg)
 }
 
 // String implements fmt.Stringer for diagnostics.
@@ -150,11 +191,12 @@ func (p *Proc) String() string {
 	return fmt.Sprintf("proc(%s, %s, wakes=%d)", p.name, state, p.wakes)
 }
 
-// waiterRef is one parked process on a Signal: the process plus the wake
+// waiterRef is one parked waiter on a Signal: a wait cell (a process's
+// embedded cell or a continuation-passing operation's own) plus the wake
 // token it armed. Storing the pair by value keeps the waiter list free of
 // per-wait allocations.
 type waiterRef struct {
-	p   *Proc
+	c   *WaitCell
 	gen uint64
 }
 
@@ -173,8 +215,17 @@ func NewSignal(name string) *Signal { return &Signal{name: name} }
 
 // Wait parks p until the next Fire.
 func (s *Signal) Wait(p *Proc) {
-	s.waiters = append(s.waiters, waiterRef{p: p, gen: p.armWait()})
+	s.waiters = append(s.waiters, waiterRef{c: &p.cell, gen: p.armWait()})
 	p.yield()
+}
+
+// WaitCell registers a kernel-side continuation for the next Fire: the
+// fire schedules the cell's continuation with arg at the firing tick,
+// exactly as it would wake a parked process. Arming spends any previous
+// token of the cell. The caller returns to the kernel loop; it must not
+// touch the protected state again until the continuation runs.
+func (s *Signal) WaitCell(c *WaitCell, arg uint64) {
+	s.waiters = append(s.waiters, waiterRef{c: c, gen: c.arm(arg)})
 }
 
 // Fire wakes all currently parked processes. Processes that Wait after
@@ -186,7 +237,7 @@ func (s *Signal) Fire() {
 	s.fires++
 	w := s.waiters
 	for i := range w {
-		w[i].p.fireWait(w[i].gen)
+		w[i].c.fire(w[i].gen)
 		w[i] = waiterRef{}
 	}
 	s.waiters = w[:0]
@@ -194,6 +245,35 @@ func (s *Signal) Fire() {
 
 // Waiters reports how many processes are currently parked.
 func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// Gate is a single-waiter Signal embedded by value: one wait-cell slot
+// and no name, so a struct that owns its only possible waiter pays no
+// allocation for the rendezvous. Fire schedules the armed continuation
+// exactly as Signal.Fire would — same AfterFunc(0, …) event — so
+// swapping a one-waiter Signal for a Gate leaves dispatch traces
+// bit-identical.
+type Gate struct {
+	c   *WaitCell
+	gen uint64
+}
+
+// WaitCell registers the cell's continuation for the next Fire,
+// spending any previous token of the cell. At most one waiter may be
+// registered at a time.
+func (g *Gate) WaitCell(c *WaitCell, arg uint64) {
+	g.c = c
+	g.gen = c.arm(arg)
+}
+
+// Fire wakes the registered waiter, if any, and clears the slot.
+func (g *Gate) Fire() {
+	if g.c == nil {
+		return
+	}
+	c, gen := g.c, g.gen
+	g.c = nil
+	c.fire(gen)
+}
 
 // Fires reports how many times Fire has been called.
 func (s *Signal) Fires() uint64 { return s.fires }
@@ -212,7 +292,7 @@ func WaitUntil(p *Proc, sig *Signal, cond func() bool) {
 func WaitAny(p *Proc, sigs ...*Signal) {
 	gen := p.armWait()
 	for _, s := range sigs {
-		s.waiters = append(s.waiters, waiterRef{p: p, gen: gen})
+		s.waiters = append(s.waiters, waiterRef{c: &p.cell, gen: gen})
 	}
 	p.yield()
 }

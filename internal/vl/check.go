@@ -138,6 +138,9 @@ func (d *Device) CheckStructure() error {
 	if allocated+len(d.freeProd) != len(d.prod) {
 		return fmt.Errorf("vl: %d allocated + %d free != %d prodBuf entries", allocated, len(d.freeProd), len(d.prod))
 	}
+	if d.prodHighWater < allocated || d.prodHighWater > len(d.prod) {
+		return fmt.Errorf("vl: prodBuf high-water %d outside [allocated %d, capacity %d]", d.prodHighWater, allocated, len(d.prod))
+	}
 
 	// Admission accounting: usedPerSQI mirrors the per-SQI allocation
 	// counts, and sharedUsed is the beyond-reservation excess.
@@ -166,6 +169,9 @@ func (d *Device) CheckStructure() error {
 	}
 	if usedCons+len(d.freeCons) != len(d.cons) {
 		return fmt.Errorf("vl: %d used + %d free != %d consBuf entries", usedCons, len(d.freeCons), len(d.cons))
+	}
+	if d.consHighWater < usedCons || d.consHighWater > len(d.cons) {
+		return fmt.Errorf("vl: consBuf high-water %d outside [used %d, capacity %d]", d.consHighWater, usedCons, len(d.cons))
 	}
 	for _, c := range d.freeCons {
 		if c < 0 || c >= len(d.cons) || d.cons[c].used {

@@ -26,6 +26,14 @@ type Device struct {
 	freeProd []int
 	freeCons []int
 
+	// Occupancy peaks: the maximum number of simultaneously allocated
+	// prodBuf and consBuf entries ever observed. Purely diagnostic — the
+	// admission logic never reads them — but the structural walk checks
+	// they bound the live counts, and the harness sizes Table 1 buffers
+	// from them.
+	prodHighWater int
+	consHighWater int
+
 	// Per-SQI prodBuf admission control. Every active SQI has one
 	// reserved slot; the remaining entries form a shared pool any SQI
 	// may draw from. The reservation guarantees each queue can always
@@ -266,6 +274,9 @@ func (d *Device) Push(s SQI, msg mem.Message) bool {
 	}
 	idx := d.freeProd[len(d.freeProd)-1]
 	d.freeProd = d.freeProd[:len(d.freeProd)-1]
+	if used := len(d.prod) - len(d.freeProd); used > d.prodHighWater {
+		d.prodHighWater = used
+	}
 	e := &d.prod[idx]
 	*e = prodEntry{state: entryInput, sqi: s, msg: msg, next: nilIdx}
 	d.stats.PushAccepts++
@@ -623,6 +634,9 @@ func (d *Device) Fetch(s SQI, target mem.Addr) bool {
 	}
 	c := d.freeCons[len(d.freeCons)-1]
 	d.freeCons = d.freeCons[:len(d.freeCons)-1]
+	if used := len(d.cons) - len(d.freeCons); used > d.consHighWater {
+		d.consHighWater = used
+	}
 	d.cons[c] = consEntry{used: true, sqi: s, target: target, next: nilIdx}
 	row := &d.link[s]
 	if row.consTail == nilIdx {
@@ -661,6 +675,14 @@ func (d *Device) FreeProdEntries() int { return len(d.freeProd) }
 
 // FreeConsEntries reports the number of unallocated consBuf slots.
 func (d *Device) FreeConsEntries() int { return len(d.freeCons) }
+
+// ProdHighWater reports the peak number of simultaneously allocated
+// prodBuf entries.
+func (d *Device) ProdHighWater() int { return d.prodHighWater }
+
+// ConsHighWater reports the peak number of simultaneously allocated
+// consBuf entries.
+func (d *Device) ConsHighWater() int { return d.consHighWater }
 
 // BufferedLen reports the length of the buffering queue of an SQI.
 func (d *Device) BufferedLen(s SQI) int {

@@ -234,6 +234,14 @@ func (q *Queue) Producers() []*Producer { return q.producers }
 const DefaultWindow = 4
 
 // Producer is a producer endpoint: a page of lines pushed to one SQI.
+//
+// Push runs as a continuation-passing state machine on the kernel
+// goroutine (see pushStep): the calling process parks once for the whole
+// operation instead of once per charged delay, which is where the bulk
+// of a simulated push's host-side cost used to go. Hot mutable counters
+// are grouped together and padded below so two endpoints adjacent in the
+// heap never share a cache line of the host when their domains run on
+// different worker lanes.
 type Producer struct {
 	q      *Queue
 	lib    *Lib // bound on first Push (the pushing thread's domain)
@@ -241,18 +249,41 @@ type Producer struct {
 	window int
 	probe  Probe // cached from the queue: probe-free fast path
 
-	outstanding int
-	credit      *sim.Signal
-	seq         uint64
-	accSeq      uint64 // next sequence to be accepted (acceptance is FIFO)
-	acceptFn    func() // bound once; the push hot path allocates no closure
-	snd         isa.Port
+	credit   sim.Gate // single-waiter window rendezvous; no allocation
+	acceptFn func()   // bound once; the push hot path allocates no closure
+	stepFn   func(uint64)
+	afterFn  func(uint64) // bound on first PushAfter
+	snd      isa.Port
 
 	// OnAccept, if non-nil, observes every vl_push of this endpoint the
 	// routing device accepts (tick, message sequence). Used by the
 	// Figure 7 tracer as the "data arrive" event.
 	OnAccept func(tick uint64, seq uint64)
+
+	_ [64]byte // hot counters below never false-share with the fields above
+
+	outstanding int
+	seq         uint64
+	accSeq      uint64 // next sequence to be accepted (acceptance is FIFO)
+
+	// In-flight Push state: the parked body, its payload, and the
+	// message under construction. One Push per endpoint is in flight at
+	// a time (an endpoint belongs to one thread), so the state lives
+	// here rather than per call.
+	pushP       *sim.Proc
+	pushPayload uint64
+	pushMsg     mem.Message
+	cell        sim.WaitCell
+
+	_ [64]byte
 }
+
+// Push state-machine steps (the uint64 event argument of stepFn).
+const (
+	prPushCredit   uint64 = iota // library overhead charged; (re-)check the window
+	prPushSelected               // vl_select cycles charged; issue vl_push
+	prPushIssued                 // vl_push cycles charged; hand to the sender
+)
 
 // NewProducer subscribes a producer endpoint to the queue. window bounds
 // in-flight pushes; 0 selects DefaultWindow.
@@ -271,7 +302,6 @@ func (q *Queue) NewProducer(window int) *Producer {
 		id:     len(q.producers),
 		window: window,
 		probe:  q.probe,
-		credit: sim.NewSignal(fmt.Sprintf("%s.prod%d.credit", q.name, len(q.producers))),
 	}
 	p.acceptFn = p.accepted
 	q.producers = append(q.producers, p)
@@ -304,6 +334,8 @@ func (pr *Producer) bind(p *sim.Proc) *Lib {
 		}
 		pr.lib = lib
 		pr.snd = lib.isa.NewPushPort()
+		pr.stepFn = pr.pushStep
+		pr.cell.Init(lib.k, pr.stepFn)
 	}
 	return pr.lib
 }
@@ -318,21 +350,84 @@ func (pr *Producer) Seq() uint64 { return pr.seq }
 // overhead plus vl_select+vl_push, then blocks only if the producer's
 // line window is exhausted (ownership of a previous line has not yet
 // transferred to the routing device).
+//
+// The delays are charged by the pushStep state machine on the kernel
+// goroutine; the body parks exactly once. The event schedule — one
+// event per charged delay, one re-check event per credit fire — is
+// bit-identical to the process-blocking form this replaced.
 func (pr *Producer) Push(p *sim.Proc, payload uint64) {
 	if pr.q.closed {
 		panic("vlq: Push on closed queue " + pr.q.name)
 	}
 	lib := pr.bind(p)
-	p.Sleep(lib.overhead())
-	sim.WaitUntil(p, pr.credit, func() bool { return pr.outstanding < pr.window })
-	pr.outstanding++
-	msg := mem.Message{Src: pr.id, Seq: pr.seq, Payload: payload}
-	pr.seq++
-	if pr.probe != nil {
-		pr.probe.Push(pr.q, pr.id, p.Now(), msg)
+	pr.pushP = p
+	pr.pushPayload = payload
+	lib.k.AfterFunc(lib.overhead(), pr.stepFn, prPushCredit)
+	p.Park()
+	pr.pushP = nil
+}
+
+// PushAfter charges the caller d cycles of compute and then pushes
+// payload, parking the calling process once for the pair. It is
+// trace-identical to p.Sleep(d) followed by Push(p, payload): the
+// compute-wake event and every push event are scheduled at the same
+// ticks by AfterFunc calls at the same points of the serialized dispatch
+// order, so (tick, seq) dispatch traces are unchanged — only the
+// goroutine round trip at the sleep/push boundary is elided. Workload
+// inner loops of the form Compute(d); Push(...) use it to drop one
+// scheduler hand-off per message.
+func (pr *Producer) PushAfter(p *sim.Proc, d uint64, payload uint64) {
+	if pr.q.closed {
+		panic("vlq: Push on closed queue " + pr.q.name)
 	}
-	lib.isa.Select(p)
-	lib.isa.Push(p, pr.snd, pr.q.sqi, msg, pr.acceptFn)
+	lib := pr.bind(p)
+	if pr.afterFn == nil {
+		pr.afterFn = pr.pushAfterStep
+	}
+	pr.pushP = p
+	pr.pushPayload = payload
+	lib.k.AfterFunc(d, pr.afterFn, 0)
+	p.Park()
+	pr.pushP = nil
+}
+
+// pushAfterStep runs at the tick the fused compute finishes — where the
+// blocking form's Sleep would have woken the process — and issues the
+// push exactly as the resumed body would: one overhead-delayed event
+// starting the pushStep machine.
+func (pr *Producer) pushAfterStep(uint64) {
+	lib := pr.lib
+	lib.k.AfterFunc(lib.overhead(), pr.stepFn, prPushCredit)
+}
+
+// pushStep is the Push state machine, driven by kernel events whose
+// delays charge the op's simulated cycles. Each case runs at the tick
+// the blocking form's process would have resumed at, and performs the
+// same work in the same order, so (tick, seq) dispatch traces are
+// unchanged.
+func (pr *Producer) pushStep(state uint64) {
+	lib := pr.lib
+	switch state {
+	case prPushCredit:
+		if pr.outstanding >= pr.window {
+			pr.credit.WaitCell(&pr.cell, prPushCredit)
+			return
+		}
+		pr.outstanding++
+		pr.pushMsg = mem.Message{Src: pr.id, Seq: pr.seq, Payload: pr.pushPayload}
+		pr.seq++
+		if pr.probe != nil {
+			pr.probe.Push(pr.q, pr.id, lib.k.Now(), pr.pushMsg)
+		}
+		lib.isa.NoteSelect()
+		lib.k.AfterFunc(config.VLSelectCycles, pr.stepFn, prPushSelected)
+	case prPushSelected:
+		lib.isa.NotePush()
+		lib.k.AfterFunc(config.VLPushCycles, pr.stepFn, prPushIssued)
+	case prPushIssued:
+		lib.isa.EnqueuePush(pr.snd, pr.q.sqi, pr.pushMsg, pr.acceptFn)
+		pr.pushP.Unpark()
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -342,21 +437,31 @@ func (pr *Producer) Push(p *sim.Proc, payload uint64) {
 // Consumer is a consumer endpoint: a page of lines that receive stashes,
 // popped in round-robin order (the library "would use the cachelines of
 // an endpoint in a round-robin fashion", §3.5).
+//
+// Pop runs as a continuation-passing state machine on the kernel
+// goroutine (see popStep); the calling process parks once per Pop. As
+// with Producer, hot mutable counters are grouped and padded so
+// endpoints of different domains never false-share host cache lines.
 type Consumer struct {
-	q      *Queue
-	lib    *Lib // bound at creation (the creating thread's domain)
-	id     int
-	probe  Probe // cached from the queue: probe-free fast path
-	page   *mem.Page
-	next   int
-	spec   bool
-	polls  uint64
-	popped uint64
-	snd    isa.Port
+	q     *Queue
+	lib   *Lib // bound at creation (the creating thread's domain)
+	id    int
+	probe Probe // cached from the queue: probe-free fast path
+	page  *mem.Page
+	spec  bool
+	snd   isa.Port
+
+	stepFn func(uint64)
 
 	// OnFetch, if non-nil, observes every vl_fetch issued by this
 	// endpoint (tick, target line index). Used by the Figure 7 tracer.
 	OnFetch func(tick uint64, lineIdx int)
+
+	_ [64]byte // hot counters below never false-share with the fields above
+
+	next   int
+	polls  uint64
+	popped uint64
 
 	// Demand-request bookkeeping. Requests are posted strictly
 	// round-robin over the endpoint lines — request j names line
@@ -367,7 +472,28 @@ type Consumer struct {
 	// pop rotation and deadlocked multi-queue workloads.)
 	postedCount uint64 // requests posted (P); request j targets line j%n
 	popsStarted uint64 // pops begun (K); pop k reads line k%n
+
+	// In-flight Pop state: the parked body, the pop's sequence number
+	// and target line, and the message handed back. One Pop per
+	// endpoint is in flight at a time.
+	popP    *sim.Proc
+	popK    uint64
+	popLine *mem.Line
+	popMsg  mem.Message
+	cell    sim.WaitCell
+
+	_ [64]byte
 }
+
+// Pop state-machine steps (the uint64 event argument of stepFn).
+const (
+	coPopStart      uint64 = iota // library overhead charged; begin the pop
+	coPopFetchSel                 // vl_select cycles charged; issue vl_fetch
+	coPopFetchIssue               // vl_fetch cycles charged; hand to the sender
+	coPopTouch                    // eviction refetch penalty charged; restore residency
+	coPopCheck                    // a fill (or eviction) fired OnFill; re-check the line
+	coPopLoad                     // L1 hit latency charged; take the message if still valid
+)
 
 // NewConsumer subscribes a consumer endpoint with nlines buffer lines.
 // If spec is true the endpoint is spec-push-enabled: the library
@@ -400,6 +526,8 @@ func (q *Queue) NewConsumer(p *sim.Proc, nlines int, spec bool) *Consumer {
 		spec:  spec,
 		snd:   lib.isa.NewFetchPort(),
 	}
+	c.stepFn = c.popStep
+	c.cell.Init(lib.k, c.stepFn)
 	q.consumers = append(q.consumers, c)
 	home.mu.Unlock()
 	if spec {
@@ -477,57 +605,99 @@ func (c *Consumer) Prefetch(p *sim.Proc) {
 // Spec-enabled endpoints skip the request entirely; the routing device
 // is expected to push speculatively.
 func (c *Consumer) Pop(p *sim.Proc) mem.Message {
-	lib := c.lib
-	p.Sleep(lib.overhead())
-	k := c.popsStarted
-	c.popsStarted++
-	idx := int(k) % len(c.page.Lines)
-	line := c.page.Lines[idx]
-	c.next = (int(k) + 1) % len(c.page.Lines)
-	if !c.spec {
-		// Ensure the k-th fill has a request; posting here (rather
-		// than only after the previous fill was consumed) is the
-		// unguided prerequest of §4.2.
-		for c.postedCount <= k {
-			c.postFetchNext(p)
+	c.popP = p
+	c.lib.k.AfterFunc(c.lib.overhead(), c.stepFn, coPopStart)
+	p.Park()
+	c.popP = nil
+	return c.popMsg
+}
+
+// popStep is the Pop state machine, driven by kernel events whose delays
+// charge the op's simulated cycles. Each case runs at the tick the
+// process-blocking form's body would have resumed at and performs the
+// same work in the same order — including the unguided-prerequest fetch
+// loop, the eviction refetch, and the load-to-use recheck — so (tick,
+// seq) dispatch traces are unchanged.
+func (c *Consumer) popStep(state uint64) {
+	switch state {
+	case coPopStart:
+		k := c.popsStarted
+		c.popsStarted++
+		c.popK = k
+		idx := int(k) % len(c.page.Lines)
+		c.popLine = c.page.Lines[idx]
+		c.next = (int(k) + 1) % len(c.page.Lines)
+		c.popFetchLoop()
+	case coPopFetchSel:
+		c.lib.isa.NoteFetch()
+		c.lib.k.AfterFunc(config.VLFetchCycles, c.stepFn, coPopFetchIssue)
+	case coPopFetchIssue:
+		i := int(c.postedCount) % len(c.page.Lines)
+		c.lib.isa.EnqueueFetch(c.snd, c.q.sqi, c.page.Lines[i].Addr)
+		c.postedCount++
+		if c.OnFetch != nil {
+			c.OnFetch(c.lib.k.Now(), i)
 		}
+		c.popFetchLoop()
+	case coPopTouch:
+		// Residency re-established after the refetch penalty (the
+		// waiting consumer's load missed; Touch restores a written-back
+		// message, firing OnFill for any sibling waiters).
+		c.popLine.Touch()
+		c.popAwait()
+	case coPopCheck:
+		c.popAwait()
+	case coPopLoad:
+		// Load-to-use complete. The eviction timer can fire during the
+		// hit-latency delay; the write-back preserves the message, so
+		// fall back into the wait loop to refetch it.
+		if c.popLine.State == mem.LineValid {
+			c.popFinish()
+			return
+		}
+		c.popAwait()
 	}
-	for line.State != mem.LineValid {
-		if line.State == mem.LineEvicted {
-			// Re-establish residency so a push can land (the waiting
-			// consumer's load misses and refetches; costs an L2 trip).
-			p.Sleep(config.EvictPenalty)
-			line.Touch()
-			continue
-		}
+}
+
+// popFetchLoop posts the demand requests owed before pop popK may
+// complete ("ensure the k-th fill has a request" — the unguided
+// prerequest of §4.2), one vl_select+vl_fetch pair per iteration, then
+// falls into the line-wait loop. Spec-enabled endpoints post nothing.
+func (c *Consumer) popFetchLoop() {
+	if !c.spec && c.postedCount <= c.popK {
+		c.lib.isa.NoteSelect()
+		c.lib.k.AfterFunc(config.VLSelectCycles, c.stepFn, coPopFetchSel)
+		return
+	}
+	c.popAwait()
+}
+
+// popAwait advances the wait-for-data loop one step: valid lines proceed
+// to the load-to-use delay, evicted lines pay the refetch penalty, and
+// empty lines park the state machine on OnFill.
+func (c *Consumer) popAwait() {
+	switch c.popLine.State {
+	case mem.LineValid:
+		c.lib.k.AfterFunc(config.L1HitCycles, c.stepFn, coPopLoad)
+	case mem.LineEvicted:
+		c.lib.k.AfterFunc(config.EvictPenalty, c.stepFn, coPopTouch)
+	default:
 		c.polls++
-		line.OnFill.Wait(p)
+		c.popLine.OnFill.WaitCell(&c.cell, coPopCheck)
 	}
-	// Load-to-use: read the freshly stashed line. The line can be
-	// evicted between the fill and the read; the wait loop above then
-	// refetches it (Touch restores the written-back message).
-	for {
-		p.Sleep(config.L1HitCycles)
-		if line.State == mem.LineValid {
-			break
-		}
-		for line.State != mem.LineValid {
-			if line.State == mem.LineEvicted {
-				p.Sleep(config.EvictPenalty)
-				line.Touch()
-				continue
-			}
-			c.polls++
-			line.OnFill.Wait(p)
-		}
-	}
+}
+
+// popFinish takes the message and resumes the parked body.
+func (c *Consumer) popFinish() {
+	line := c.popLine
 	line.NoteFirstUse(line.Msg)
 	msg := line.Take()
 	c.popped++
 	if c.probe != nil {
-		c.probe.Pop(c.q, c.id, p.Now(), msg)
+		c.probe.Pop(c.q, c.id, c.lib.k.Now(), msg)
 	}
-	return msg
+	c.popMsg = msg
+	c.popP.Unpark()
 }
 
 // PopOrDone dequeues one message like Pop, but also returns (with
@@ -560,7 +730,7 @@ func (c *Consumer) PopOrDone(p *sim.Proc, done *sim.Signal, isDone func() bool) 
 				return mem.Message{}, false
 			}
 			c.polls++
-			sim.WaitAny(p, line.OnFill, done)
+			sim.WaitAny(p, &line.OnFill, done)
 		}
 		p.Sleep(config.L1HitCycles)
 		// The eviction timer can fire during the hit-latency sleep; the

@@ -37,9 +37,9 @@ const (
 
 func init() {
 	register(&Workload{
-		Name:      "FIR",
-		Desc:      "data streams through 10-stage FIR filter",
-		QueueSpec: "(1:1)x9",
+		Name:         "FIR",
+		Desc:         "data streams through 10-stage FIR filter",
+		QueueSpec:    "(1:1)x9",
 		Threads:      firStages,
 		Build:        buildFIR,
 		ParallelSafe: true,
@@ -56,8 +56,7 @@ func buildFIR(sys *spamer.System, scale int) {
 	sys.Spawn("fir/source", func(t *spamer.Thread) {
 		tx := queues[0].NewProducer(0)
 		for i := 0; i < n; i++ {
-			t.Compute(firSrcWork)
-			tx.Push(t.Proc, uint64(i))
+			tx.PushAfter(t.Proc, firSrcWork, uint64(i))
 		}
 	})
 
@@ -69,9 +68,8 @@ func buildFIR(sys *spamer.System, scale int) {
 			acc := uint64(0)
 			for i := 0; i < n; i++ {
 				m := rx.Pop(t.Proc)
-				t.Compute(firMAC)
 				acc += m.Payload // tap accumulate
-				tx.Push(t.Proc, acc)
+				tx.PushAfter(t.Proc, firMAC, acc)
 				if (i+s*7)%firReloadEvery == 0 {
 					t.Compute(firReloadCost) // coefficient block reload
 				}

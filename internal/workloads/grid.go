@@ -63,17 +63,17 @@ func buildGridLinks(sys *spamer.System) *gridLinks {
 
 func init() {
 	register(&Workload{
-		Name:      "halo",
-		Desc:      "exchange data with neighboring threads",
-		QueueSpec: "(1:1)x48",
+		Name:         "halo",
+		Desc:         "exchange data with neighboring threads",
+		QueueSpec:    "(1:1)x48",
 		Threads:      gridW * gridH,
 		Build:        buildHalo,
 		ParallelSafe: true,
 	})
 	register(&Workload{
-		Name:      "sweep",
-		Desc:      "data sweeps through a grid of threads corner to corner",
-		QueueSpec: "(1:1)x48",
+		Name:         "sweep",
+		Desc:         "data sweeps through a grid of threads corner to corner",
+		QueueSpec:    "(1:1)x48",
 		Threads:      gridW * gridH,
 		Build:        buildSweep,
 		ParallelSafe: true,

@@ -61,6 +61,14 @@ func (q *Queue) NewProducer(window int) *Producer {
 // ISA costs, blocking only on the endpoint's line window.
 func (pr *Producer) Push(p *sim.Proc, payload uint64) { pr.inner.Push(p, payload) }
 
+// PushAfter charges the calling thread d cycles of compute and then
+// pushes payload — trace-identical to Compute(d) followed by Push, with
+// one scheduler round trip instead of two. Use it for the ubiquitous
+// produce-loop shape `Compute(work); Push(msg)`.
+func (pr *Producer) PushAfter(p *sim.Proc, d uint64, payload uint64) {
+	pr.inner.PushAfter(p, d, payload)
+}
+
 // Sent reports how many messages this endpoint has pushed.
 func (pr *Producer) Sent() uint64 { return pr.inner.Seq() }
 

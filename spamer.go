@@ -289,6 +289,17 @@ func (s *System) SpecBuf() *core.SpecBuf {
 // SpecBufs exposes every device's specBuf (empty on the VL baseline).
 func (s *System) SpecBufs() []*core.SpecBuf { return s.specs }
 
+// AddressSpaces exposes every line arena: the single shared space of a
+// sequential system, or one per domain on the parallel fabric. The
+// verification oracle walks their slab bookkeeping alongside the device
+// and specBuf tables.
+func (s *System) AddressSpaces() []*mem.AddressSpace {
+	if s.fab != nil {
+		return s.fab.spaces
+	}
+	return []*mem.AddressSpace{s.as}
+}
+
 // SetQueueProbe installs p on every queue subsequently created with
 // NewQueue. Must be called before the workload builds its queues; the
 // verification layer (internal/oracle) uses it to observe every message
