@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race verify-oracle fuzz-smoke fabric-smoke bench bench-ci bench-race repro figures trace sweep latency area ablate tune serve worker clean
+.PHONY: all check build vet test test-race verify-oracle fuzz-smoke fabric-smoke bench bench-ci bench-race bench-parallel repro figures trace sweep latency area ablate tune serve worker clean
 
 # BENCH_JSON tracks the perf trajectory across PRs: bump the suffix when
 # a PR materially changes the benchmark surface and commit the new file.
@@ -11,8 +11,9 @@ GO ?= go
 # (spamer-benchjson -gate) fails the step when the sequential SpecRun
 # benchmark regresses more than GATE_PCT percent in ns/op, when any
 # benchmark present in both runs gains allocs/op (exact — alloc counts
-# don't jitter), or when the MillionMessage sequential hot path
-# allocates at all. It also fails hard when BENCH_BASELINE itself is
+# don't jitter), when any MillionMessage lane-count variant allocates
+# at all, or when a parallel SpecRun allocates more per op than its
+# sequential twin SpecRunSeqHalo. It also fails hard when BENCH_BASELINE itself is
 # missing or unparsable, so a renamed/uncommitted baseline can never
 # silently reduce the gate to the allocation checks. Move BENCH_BASELINE
 # forward deliberately, in the PR that establishes the new floor.
@@ -20,8 +21,8 @@ GO ?= go
 # GATE_PCT is the SpecRun ns/op tolerance (spamer-benchjson -gate-pct):
 # wide by default because wall time on shared runners jitters; the
 # allocs/op checks are the gate's primary teeth.
-BENCH_JSON ?= BENCH_8.json
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_JSON ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_8.json
 # MillionMessage pins b.N to the delivered message count; the dedicated
 # pass below records the true million-message run in $(BENCH_JSON)
 # (bench-ci uses a shorter pass — allocs/op is exact at any count).
@@ -91,6 +92,26 @@ bench-ci:
 	  $(GO) test -run=NONE -bench=. -benchmem -benchtime=10x ./internal/experiments && \
 	  $(GO) test -run=NONE -bench=MillionMessage -benchmem -benchtime=200000x . ) \
 	| $(GO) run ./cmd/spamer-benchjson -out bench-ci.json -baseline $(BENCH_BASELINE) -gate -gate-pct $(GATE_PCT)
+
+# Parallel-kernel perf gate: the MillionMessage domains sweep plus the
+# SpecRun parallel variants and their like-for-like sequential twin
+# (SpecRunSeqHalo), piped through the -gate checks. GOMAXPROCS is
+# pinned in both stages so lane counts mean the same thing run to run:
+# the SpecRun parity stage at 1, where allocs/op is exact (multi-P runs
+# pick up the scheduler's own sudog/thread allocations — noise that
+# measures the runtime, not the simulator), and the MillionMessage
+# sweep at BENCH_GOMAXPROCS for the wall-clock comparison. The gate
+# holds every MillionMessage lane count to zero allocs/op and every
+# parallel SpecRun to allocs/op parity with SpecRunSeqHalo; on runners
+# with at least four CPUs it additionally requires MillionMessage
+# domains=4 to beat the sequential wall-clock (skipped on smaller
+# runners, where lanes cannot actually run concurrently). Blocking in
+# CI.
+BENCH_GOMAXPROCS ?= 4
+bench-parallel:
+	( GOMAXPROCS=1 $(GO) test -run=NONE -bench='SpecRunSeqHalo|SpecRunParallel' -benchmem -benchtime=10x ./internal/experiments && \
+	  GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -run=NONE -bench=MillionMessage -benchmem -benchtime=200000x . ) \
+	| $(GO) run ./cmd/spamer-benchjson -out bench-parallel.json -baseline $(BENCH_BASELINE) -gate -gate-pct $(GATE_PCT)
 
 # Race-detector pass over the MillionMessage benchmark, including its
 # parallel-domain variants: the open-loop engine drives the same

@@ -21,15 +21,31 @@
 // -gate turns the comparison into a check: the exit status becomes
 // nonzero when the sequential SpecRun benchmark regresses more than
 // -gate-pct in ns/op against the baseline, when any benchmark present
-// in both runs allocates more per op than it used to, or when the
-// MillionMessage sequential hot path allocates at all. The bench-ci
-// step is blocking, so the timing bar is deliberately narrow in scope
-// (sequential only — parallel wall time is runner-contention noise)
-// and wide in tolerance (-gate-pct defaults to 25); the allocs/op
-// checks are exact — counts don't jitter — and are the gate's primary
-// teeth. -gate requires a readable -baseline: a missing or malformed
-// baseline file is itself a gate failure, never a silent downgrade to
-// the allocation checks alone.
+// in both runs allocates more per op than it used to, when any
+// MillionMessage lane-count variant allocates at all, or when a
+// parallel SpecRun allocates more per op than its like-for-like
+// sequential run (SpecRunSeqHalo — same workload, sequential kernel).
+// The parity check applies only to benchmarks that ran at GOMAXPROCS=1,
+// where alloc counts carry no scheduler noise (see parallelViolations).
+// On runners with at least four CPUs the gate additionally requires
+// MillionMessage domains=4 (when run at GOMAXPROCS >= 4) to beat the
+// sequential wall-clock; on smaller runners that check is skipped
+// (lanes cannot run concurrently there, so the comparison would
+// measure the host, not the code). The
+// bench-ci step is blocking, so the timing bar is deliberately narrow
+// in scope and wide in tolerance (-gate-pct defaults to 25); the
+// allocs/op checks are exact — counts don't jitter — and are the
+// gate's primary teeth. -gate requires a readable -baseline: a missing
+// or malformed baseline file is itself a gate failure, never a silent
+// downgrade to the allocation checks alone.
+//
+// The JSON file carries an "env" header (gomaxprocs, numcpu, Go
+// version) alongside the "benchmarks" map, so a baseline records the
+// machine it was measured on; -baseline warns — never fails — when the
+// baseline's core count differs from the current runner's, since
+// timing deltas across different machines are not comparable. Files
+// from before the header (flat benchmark maps) are still accepted as
+// baselines.
 package main
 
 import (
@@ -39,25 +55,48 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Entry is one benchmark's parsed result.
+// Entry is one benchmark's parsed result. GoMaxProcs is the -N suffix
+// Go appends to the benchmark name (stripped from the key so keys stay
+// stable across machines, but kept here: the parallel parity gate only
+// applies to single-P runs, where alloc counts are deterministic).
 type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Iterations  int64   `json:"iterations"`
+	GoMaxProcs  int     `json:"gomaxprocs,omitempty"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+// Env records the machine a benchmark file was measured on.
+type Env struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GoVersion  string `json:"goversion"`
+}
+
+// File is the on-disk schema: an environment header plus the benchmark
+// map. Pre-header files were the bare map; readBaseline accepts both.
+type File struct {
+	Env        Env              `json:"env"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func currentEnv() Env {
+	return Env{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GoVersion: runtime.Version()}
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	out := flag.String("out", "BENCH.json", "output JSON path")
 	baseline := flag.String("baseline", "", "prior BENCH_<n>.json to diff against (delta table on stderr; never fails the run)")
-	gate := flag.Bool("gate", false, "exit nonzero on SpecRun ns/op regression past -gate-pct vs -baseline, any allocs/op increase, or a MillionMessage sequential alloc")
+	gate := flag.Bool("gate", false, "exit nonzero on SpecRun ns/op regression past -gate-pct vs -baseline, any allocs/op increase, a MillionMessage alloc at any lane count, or a parallel SpecRun allocating above its SpecRunSeqHalo twin")
 	gatePct := flag.Float64("gate-pct", 25, "ns/op regression percentage -gate tolerates on SpecRun benchmarks")
 	flag.Parse()
 
@@ -76,9 +115,10 @@ func main() {
 		if m == nil {
 			continue
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		e := Entry{Iterations: iters}
-		fields := strings.Fields(m[3])
+		procs, _ := strconv.Atoi(m[2])
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		e := Entry{Iterations: iters, GoMaxProcs: procs}
+		fields := strings.Fields(m[4])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -116,7 +156,7 @@ func main() {
 	// encoding/json sorts map keys, so the file is stable and diffable.
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(entries); err != nil {
+	if err := enc.Encode(File{Env: currentEnv(), Benchmarks: entries}); err != nil {
 		fmt.Fprintln(os.Stderr, "spamer-benchjson:", err)
 		os.Exit(1)
 	}
@@ -156,9 +196,12 @@ func main() {
 
 // gateViolations applies the perf gate: SpecRun ns/op may not regress
 // more than pct percent against the baseline, no benchmark may gain
-// allocs/op, and the MillionMessage sequential hot path must stay
+// allocs/op, every MillionMessage lane-count variant must stay
 // allocation-free (checked even without a baseline entry — the
-// benchmark is newer than some baselines).
+// benchmarks are newer than some baselines), parallel SpecRun may not
+// allocate more per op than its like-for-like sequential run, and on
+// multi-core runners MillionMessage domains=4 must beat the sequential
+// wall-clock.
 func gateViolations(old, entries map[string]Entry, pct float64) []string {
 	var bad []string
 	names := make([]string, 0, len(entries))
@@ -166,10 +209,11 @@ func gateViolations(old, entries map[string]Entry, pct float64) []string {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	bad = append(bad, parallelViolations(entries)...)
 	for _, name := range names {
 		e := entries[name]
-		if strings.Contains(name, "MillionMessage/sequential") && e.AllocsPerOp > 0 {
-			bad = append(bad, fmt.Sprintf("%s allocates %.0f/op; the sequential hot path must be allocation-free", name, e.AllocsPerOp))
+		if strings.Contains(name, "MillionMessage/") && e.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("%s allocates %.0f/op; the message hot path must be allocation-free at every lane count", name, e.AllocsPerOp))
 		}
 		o, ok := old[name]
 		if !ok {
@@ -190,6 +234,54 @@ func gateViolations(old, entries map[string]Entry, pct float64) []string {
 	return bad
 }
 
+// parallelViolations applies the gates that compare entries within the
+// current run (no baseline involved): a parallel SpecRun variant may
+// not allocate more per op than its like-for-like sequential run
+// (SpecRunSeqHalo — same workload and scale, sequential kernel), and
+// on runners with at least four CPUs MillionMessage domains=4 must not
+// be slower than MillionMessage sequential. Both checks pair entries
+// by package prefix, so per-package benchmark sets gate independently.
+//
+// The alloc-parity check only fires on benchmarks that ran at
+// GOMAXPROCS=1. With more Ps the Go runtime itself allocates in
+// proportion to real scheduler contention (sudogs, thread spin-up) —
+// tens of allocs per SpecRun that measure the scheduler, not the
+// simulator, and never amortize away. Single-P runs have none of that,
+// so their counts are exact and lane-count-invariant; make
+// bench-parallel pins the parity stage accordingly.
+func parallelViolations(entries map[string]Entry) []string {
+	var bad []string
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := entries[name]
+		i := strings.LastIndex(name, "/Benchmark")
+		if i < 0 {
+			continue
+		}
+		pkg := name[:i]
+		if strings.Contains(name, "SpecRunParallelDomains") && e.GoMaxProcs == 1 {
+			base, ok := entries[pkg+"/BenchmarkSpecRunSeqHalo"]
+			if !ok {
+				continue // parity needs the sequential twin in the same run
+			}
+			if e.AllocsPerOp > base.AllocsPerOp {
+				bad = append(bad, fmt.Sprintf("%s allocates %.0f/op, above its sequential like-for-like SpecRunSeqHalo at %.0f/op", name, e.AllocsPerOp, base.AllocsPerOp))
+			}
+		}
+		if strings.HasSuffix(name, "MillionMessage/domains=4") && runtime.NumCPU() >= 4 && e.GoMaxProcs >= 4 {
+			seq, ok := entries[pkg+"/BenchmarkMillionMessage/sequential"]
+			if ok && seq.NsPerOp > 0 && e.NsPerOp > seq.NsPerOp {
+				bad = append(bad, fmt.Sprintf("%s is slower than sequential on a %d-CPU runner (%.0f vs %.0f ns/op)", name, runtime.NumCPU(), e.NsPerOp, seq.NsPerOp))
+			}
+		}
+	}
+	return bad
+}
+
 // printDeltas renders a benchstat-style comparison of entries against a
 // prior BENCH_<n>.json on stderr and returns the parsed baseline for
 // the optional gate. A read or parse failure is reported on stderr and
@@ -202,8 +294,21 @@ func printDeltas(path string, entries map[string]Entry) (map[string]Entry, error
 		fmt.Fprintln(os.Stderr, "spamer-benchjson: baseline:", err)
 		return nil, err
 	}
+	var bf File
 	var old map[string]Entry
-	if err := json.Unmarshal(data, &old); err != nil {
+	if err := json.Unmarshal(data, &bf); err == nil && bf.Benchmarks != nil {
+		old = bf.Benchmarks
+		// A baseline measured on a different core count makes every
+		// timing delta a statement about the machines, not the code.
+		// Warn — never fail — so cross-machine comparisons stay possible
+		// but are visibly suspect.
+		if bf.Env.NumCPU != 0 && bf.Env.NumCPU != runtime.NumCPU() {
+			fmt.Fprintf(os.Stderr,
+				"spamer-benchjson: WARNING: baseline %s was measured on %d CPUs, this runner has %d — ns/op deltas are not comparable\n",
+				path, bf.Env.NumCPU, runtime.NumCPU())
+		}
+	} else if err := json.Unmarshal(data, &old); err != nil {
+		// Pre-header schema: the file is the bare benchmark map.
 		fmt.Fprintln(os.Stderr, "spamer-benchjson: baseline:", err)
 		return nil, err
 	}

@@ -89,6 +89,22 @@ func main() {
 		}
 		all = append(all, res.Outcomes...)
 	}
+	for _, o := range all {
+		if p := o.Parallel; p != nil {
+			// One-line parallel-efficiency summary per multi-domain run:
+			// how many sync windows ran, how many domain-windows the
+			// horizon tracking skipped, and the cross-domain traffic they
+			// carried. Deterministic across lane counts, so it is safe to
+			// diff between runs.
+			perQ := 0.0
+			if p.Quanta > 0 {
+				perQ = float64(p.WindowsSkipped) / float64(p.Quanta)
+			}
+			fmt.Fprintf(os.Stderr,
+				"parallel %s/%s: %d quanta, %d domain-windows skipped (%.1f/quantum), %d cross messages, %d undelivered high-water\n",
+				o.Benchmark, o.Algorithm, p.Quanta, p.WindowsSkipped, perQ, p.CrossMessages, p.UndeliveredHW)
+		}
+	}
 	if err := experiments.WriteOutcomes(os.Stdout, all); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -57,6 +57,13 @@ func benchParallelDomains(b *testing.B, domains int) {
 	}
 }
 
+// BenchmarkSpecRunSeqHalo runs the identical halo experiment on the
+// sequential kernel (Domains: 0). It is the like-for-like baseline for
+// the parallel kernel's parity gates: same workload, same scale, only
+// the kernel differs — so parallel-vs-SeqHalo deltas measure the
+// parallel machinery itself, not workload differences.
+func BenchmarkSpecRunSeqHalo(b *testing.B) { benchParallelDomains(b, 0) }
+
 func BenchmarkSpecRunParallelDomains1(b *testing.B) { benchParallelDomains(b, 1) }
 func BenchmarkSpecRunParallelDomains2(b *testing.B) { benchParallelDomains(b, 2) }
 func BenchmarkSpecRunParallelDomains4(b *testing.B) { benchParallelDomains(b, 4) }

@@ -32,11 +32,16 @@ const (
 // response trip after arrival), so its trace differs from the sequential
 // goldens above — but it must be bit-identical for every worker-lane
 // count. The hash folds the per-domain FNV-1a streams in domain order.
+// Re-pinned for the barrier-light kernel: per-destination deferred
+// injection widens the per-domain windows, which changes how same-tick
+// cross messages interleave with locally scheduled events (a different
+// but equally canonical tie order), so the parallel trace and end tick
+// moved while the sequential goldens above stayed put.
 const (
-	goldenParTraceFIRVL    = 0x8fd0b17e66079539
-	goldenParTraceFIRTuned = 0xc8ec235ec5be1ef9
-	goldenParTicksFIRVL    = 130252
-	goldenParTicksFIRTuned = 107469
+	goldenParTraceFIRVL    = 0xbe7d84f625d5eabf
+	goldenParTraceFIRTuned = 0x96bc724cdcb1a2e
+	goldenParTicksFIRVL    = 129214
+	goldenParTicksFIRTuned = 107406
 )
 
 // Golden sequential dispatch-trace hashes for the incast benchmark —

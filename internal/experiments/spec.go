@@ -81,6 +81,21 @@ type Outcome struct {
 	PushesIssued   uint64  `json:"pushes_issued"`
 	Fetches        uint64  `json:"fetches"`
 	Deterministic  *bool   `json:"deterministic,omitempty"` // set when Repeat > 1
+
+	// Parallel carries the multi-domain kernel's telemetry on runs with
+	// Domains > 0; sequential runs omit it. Every field is a pure
+	// function of the model and lookahead — never of lane count or
+	// scheduling timing — so outcome JSON stays byte-identical across
+	// Domains settings (the repeat/determinism checks rely on that).
+	Parallel *ParallelOutcome `json:"parallel,omitempty"`
+}
+
+// ParallelOutcome is the JSON form of sim.ParallelStats.
+type ParallelOutcome struct {
+	Quanta         uint64 `json:"quanta"`
+	WindowsSkipped uint64 `json:"windows_skipped"`
+	CrossMessages  uint64 `json:"cross_messages"`
+	UndeliveredHW  uint64 `json:"undelivered_hw"`
 }
 
 // Validate checks a spec before running.
@@ -233,6 +248,14 @@ func (s *Spec) runAlg(w *workloads.Workload, alg string, scale int) (Outcome, sp
 		BusUtilization: res.BusUtilization,
 		PushesIssued:   res.Device.TotalPushes(),
 		Fetches:        res.Device.Fetches,
+	}
+	if s.systemConfig(alg).EffectiveDomains() > 0 {
+		o.Parallel = &ParallelOutcome{
+			Quanta:         res.Parallel.Quanta,
+			WindowsSkipped: res.Parallel.WindowsSkipped,
+			CrossMessages:  res.Parallel.CrossMessages,
+			UndeliveredHW:  res.Parallel.UndeliveredHW,
+		}
 	}
 	if s.Repeat > 1 {
 		det := true

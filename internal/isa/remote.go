@@ -38,20 +38,37 @@ type RemoteISA struct {
 	src    int // issuing domain index
 	hubDom int
 
-	execFn func(a0, a1, a2, a3 uint64) // hub.Exec, bound once
+	execFn   func(a0, a1, a2, a3 uint64) // hub.Exec, bound once
+	replayFn func(uint64)                // shared retry trampoline; arg = sender id
 
 	stats   Stats
 	senders []*RemoteSender
+	arena   []RemoteSender // block storage behind senders; 16 cores x N endpoints
 }
 
 // NewRemote returns a remote ISA issuing from srcDomain against the given
 // hub. It binds its response dispatcher into the hub, so construction
 // must happen at setup time, before any traffic flows.
 func NewRemote(k *sim.Kernel, bus *noc.Bus, hub *vl.Hub, post vl.PostFunc, srcDomain int) *RemoteISA {
-	r := &RemoteISA{k: k, bus: bus, hub: hub, post: post, src: srcDomain, hubDom: hub.Domain()}
-	r.execFn = hub.ExecFn()
-	hub.Bind(srcDomain, r.response)
+	r := new(RemoteISA)
+	r.Init(k, bus, hub, post, srcDomain)
 	return r
+}
+
+// Init initializes r in place (batch construction — the multi-domain
+// fabric carves one RemoteISA per core domain from a block; NewRemote
+// wraps it). Like NewRemote it binds the response dispatcher into the
+// hub, so it must run at setup time.
+func (r *RemoteISA) Init(k *sim.Kernel, bus *noc.Bus, hub *vl.Hub, post vl.PostFunc, srcDomain int) {
+	*r = RemoteISA{k: k, bus: bus, hub: hub, post: post, src: srcDomain, hubDom: hub.Domain()}
+	// Endpoint setup dominates construction allocations: presize the
+	// sender arena and index so a typical domain's ports cost zero
+	// further allocations (heavy workloads fall back to block growth).
+	r.arena = make([]RemoteSender, 0, senderArenaBlock)
+	r.senders = make([]*RemoteSender, 0, senderArenaBlock)
+	r.execFn = hub.ExecFn()
+	r.replayFn = func(id uint64) { r.senders[id].send() }
+	hub.Bind(srcDomain, r.response)
 }
 
 // Stats returns a snapshot of the operation counters.
@@ -81,7 +98,6 @@ type RemoteSender struct {
 	head     int // q[:head] are accepted; the array is reused, not resliced away
 	busy     bool
 	attempts uint64
-	replayFn func(uint64)
 }
 
 type remoteOp struct {
@@ -92,9 +108,19 @@ type remoteOp struct {
 	push     bool
 }
 
+// senderArenaBlock sizes the sender arena: a core domain opens a few
+// endpoints (one producer + one consumer side per queue it touches), so
+// one block covers typical workloads and heavy ones amortize.
+const senderArenaBlock = 16
+
 func (r *RemoteISA) newSender(kind noc.PacketKind) *RemoteSender {
-	s := &RemoteSender{r: r, id: len(r.senders), kind: kind}
-	s.replayFn = func(uint64) { s.send() }
+	if len(r.arena) == cap(r.arena) {
+		// A fresh block: existing senders keep pointing into old blocks.
+		r.arena = make([]RemoteSender, 0, senderArenaBlock)
+	}
+	r.arena = r.arena[:len(r.arena)+1]
+	s := &r.arena[len(r.arena)-1]
+	*s = RemoteSender{r: r, id: len(r.senders), kind: kind}
 	r.senders = append(r.senders, s)
 	return s
 }
@@ -109,6 +135,11 @@ func (r *RemoteISA) NewFetchPort() Port { return r.newSender(noc.PktFetchReq) }
 func (s *RemoteSender) Pending() int { return len(s.q) - s.head }
 
 func (s *RemoteSender) enqueue(op remoteOp) {
+	if s.q == nil {
+		// First use: one right-sized allocation instead of the append
+		// growth chain (a producer window is 4; fetch streams stay at 1-2).
+		s.q = make([]remoteOp, 0, 8)
+	}
 	if s.head > 0 && len(s.q) == cap(s.q) {
 		// Compact the accepted prefix away before growing, so a sender
 		// that never fully drains still reaches a steady-state array.
@@ -154,7 +185,7 @@ func (s *RemoteSender) delivered(ok bool) {
 			panic("isa: remote device-write replay bound exceeded (deadlocked workload?)")
 		}
 		s.r.stats.Replays++
-		s.r.k.AfterFunc(RetryBackoffCycles, s.replayFn, 0)
+		s.r.k.AfterFunc(RetryBackoffCycles, s.r.replayFn, uint64(s.id))
 		return
 	}
 	op := s.q[s.head]

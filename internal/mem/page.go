@@ -21,6 +21,17 @@ type Page struct {
 // storage that is contiguous by value.
 const linesPerChunk = 256
 
+// pageArenaBlock and ptrSlabBlock batch the per-page header and Lines
+// allocations: a system opens a few dozen endpoints (each one page), so
+// block storage turns one Page struct + one []*Line per endpoint into a
+// couple of allocations per address space. Blocks are never grown in
+// place — a full block is replaced by a fresh one — so &pages[i] and the
+// carved Lines slices stay valid forever.
+const (
+	pageArenaBlock = 16
+	ptrSlabBlock   = 128
+)
+
 // AddressSpace allocates endpoint pages with unique, non-overlapping
 // cache-line addresses, and resolves addresses back to lines (the routing
 // device needs this to deliver stashes).
@@ -40,6 +51,9 @@ type AddressSpace struct {
 	n      int // allocated lines; the arena's high-water mark (lines are never freed)
 	chunks []*[linesPerChunk]Line
 	cold   []*[linesPerChunk]lineStats
+
+	pages []Page  // block arena behind the *Page headers NewPage hands out
+	ptrs  []*Line // slab carved into the Lines arrays of those pages
 }
 
 // NewAddressSpace returns an empty address space starting at a non-zero
@@ -55,10 +69,18 @@ func NewAddressSpace(k *sim.Kernel) *AddressSpace {
 // domain; base itself is never allocated, preserving the reserved-NULL
 // convention of NewAddressSpace at every base.
 func NewAddressSpaceAt(k *sim.Kernel, base Addr) *AddressSpace {
+	as := new(AddressSpace)
+	as.Init(k, base)
+	return as
+}
+
+// Init initializes as in place (batch construction for the multi-domain
+// fabric's per-domain spaces; NewAddressSpaceAt wraps it).
+func (as *AddressSpace) Init(k *sim.Kernel, base Addr) {
 	if base%Addr(config.LineBytes) != 0 {
 		panic(fmt.Sprintf("mem: address-space base %#x not line-aligned", uint64(base)))
 	}
-	return &AddressSpace{k: k, base: base, next: base + Addr(config.LineBytes)}
+	*as = AddressSpace{k: k, base: base, next: base + Addr(config.LineBytes)}
 }
 
 // Base reports the base address of the space (the reserved line below the
@@ -70,7 +92,26 @@ func (as *AddressSpace) NewPage(n int) *Page {
 	if n <= 0 {
 		panic(fmt.Sprintf("mem: NewPage(%d)", n))
 	}
-	p := &Page{Base: as.next, Lines: make([]*Line, n)}
+	if len(as.pages) == cap(as.pages) {
+		// Fresh header block; earlier *Page pointers keep aiming into the
+		// old blocks.
+		as.pages = make([]Page, 0, pageArenaBlock)
+	}
+	as.pages = as.pages[:len(as.pages)+1]
+	p := &as.pages[len(as.pages)-1]
+	if cap(as.ptrs)-len(as.ptrs) < n {
+		c := ptrSlabBlock
+		if n > c {
+			c = n
+		}
+		as.ptrs = make([]*Line, 0, c)
+	}
+	m := len(as.ptrs)
+	as.ptrs = as.ptrs[:m+n]
+	// The three-index expression caps the page's view at its own lines, so
+	// an (impossible today) append on Lines could never clobber the next
+	// page's slots.
+	*p = Page{Base: as.next, Lines: as.ptrs[m : m+n : m+n]}
 	for i := range p.Lines {
 		if as.n%linesPerChunk == 0 {
 			as.chunks = append(as.chunks, new([linesPerChunk]Line))

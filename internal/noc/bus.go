@@ -136,10 +136,20 @@ func NewWithHopLatency(k *sim.Kernel, hop uint64) *Bus {
 // NewWithOptions returns a bus with explicit hop latency and channel
 // count (channels <= 0 selects DefaultChannels).
 func NewWithOptions(k *sim.Kernel, hop uint64, channels int) *Bus {
+	b := new(Bus)
+	b.Init(k, hop, channels)
+	return b
+}
+
+// Init initializes b in place with explicit hop latency and channel
+// count (channels <= 0 selects DefaultChannels). Batch construction —
+// the multi-domain fabric carves its per-domain bus slices from one
+// block — uses it directly; NewWithOptions wraps it.
+func (b *Bus) Init(k *sim.Kernel, hop uint64, channels int) {
 	if channels <= 0 {
 		channels = DefaultChannels
 	}
-	return &Bus{k: k, hopLat: hop, freeAt: make([]uint64, channels), stats: Stats{startTick: k.Now()}}
+	*b = Bus{k: k, hopLat: hop, freeAt: make([]uint64, channels), stats: Stats{startTick: k.Now()}}
 }
 
 // Channels reports the number of transfer channels.

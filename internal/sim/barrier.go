@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// This file implements the two halves of the parallel kernel's
+// barrier-light rendezvous:
+//
+//   - laneGate: a per-lane sense-reversing wake word. The coordinator
+//     publishes a new quantum by bumping the lane's generation counter;
+//     the lane spins briefly on the counter (cheap when real cores are
+//     available) and parks on a buffered channel otherwise. Skipping a
+//     lane is free — its generation simply is not bumped.
+//   - joinTree: a radix-4 combining arrival tree. Lanes finishing a
+//     quantum decrement their leaf; the last arrival at a leaf
+//     decrements the root, and the last arrival at the root wakes only
+//     the coordinator — no all-lanes broadcast release phase exists at
+//     all, because the release is the next quantum's gate publication.
+//
+// Together these replace the channel request/response pair per lane per
+// quantum of the first parallel kernel: a quantum hand-off on a
+// multi-core host is two atomic stores and a handful of spins, and a
+// lane with no runnable domains never observes the quantum happening.
+//
+// Memory ordering: every value the coordinator writes between quanta
+// (window limits, runnable sets, pending staging) is published to a lane
+// by the gate's generation store and acquired by the lane's generation
+// load; everything a lane writes during a quantum is published by its
+// join-tree arrival and acquired by the coordinator's observation of the
+// root reaching zero. Plain (non-atomic) shared slices are therefore
+// safe on both sides of the protocol.
+
+// gateSpin bounds the optimistic spin before a waiter parks on its
+// channel. Spinning only pays when another core can make progress
+// concurrently, so waiters skip straight to parking on a single-proc
+// runtime.
+const gateSpin = 4096
+
+// laneGate is one waiter's wake word plus parking channel. The padding
+// keeps each gate on its own cache line: generations are bumped by the
+// coordinator while other lanes spin on their own words.
+type laneGate struct {
+	gen    atomic.Uint64
+	parked atomic.Bool
+	park   chan struct{}
+	_      [64 - (8+1+8)%64]byte
+}
+
+// init readies a zero-value gate (gates embed atomics, so they are
+// initialized in place rather than copied from a constructor).
+func (g *laneGate) init() {
+	g.park = make(chan struct{}, 1)
+}
+
+// wake publishes generation g to the waiter. Coordinator-only. The
+// parked check after the generation store pairs with the waiter's
+// generation check after its parked store (both sequentially consistent),
+// so a wake is never lost: either the waiter sees the new generation
+// before parking, or the waker sees parked and sends the token.
+func (g *laneGate) wake(gen uint64) {
+	g.gen.Store(gen)
+	if g.parked.Load() {
+		select {
+		case g.park <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// wait blocks until the generation moves past last and returns the new
+// value. Waiter-only. spin enables the optimistic phase; pass false when
+// the host cannot run waker and waiter concurrently.
+func (g *laneGate) wait(last uint64, spin bool) uint64 {
+	for {
+		if spin {
+			for i := 0; i < gateSpin; i++ {
+				if v := g.gen.Load(); v != last {
+					return v
+				}
+				if i&255 == 255 {
+					runtime.Gosched()
+				}
+			}
+		} else if v := g.gen.Load(); v != last {
+			return v
+		}
+		g.parked.Store(true)
+		if v := g.gen.Load(); v != last {
+			g.parked.Store(false)
+			return v
+		}
+		<-g.park // a stale token re-checks the generation and re-parks
+		g.parked.Store(false)
+	}
+}
+
+// joinTree counts quantum arrivals. The coordinator sizes it for the
+// participating lanes before publishing the quantum (no arrivals can be
+// in flight then, which is what makes the per-quantum reset — the sense
+// reversal — trivially safe), lanes call arrive once each, and the last
+// arrival wakes the coordinator's gate.
+type joinTree struct {
+	leaves []atomic.Int64 // remaining arrivals per radix-4 leaf; padded below
+	root   atomic.Int64   // remaining leaves
+	_      [56]byte
+	done    laneGate // coordinator's wake word
+	quantum uint64   // generation the last arrival publishes; set by reset
+}
+
+// joinRadix is the combining fan-in: lanes i*joinRadix..i*joinRadix+3
+// share leaf i. Four lanes per cache-line-padded counter keeps the tree
+// two levels deep for every realistic lane count while splitting arrival
+// traffic across lines.
+const joinRadix = 4
+
+// leafPad spaces the leaf counters a cache line apart. atomic.Int64 is 8
+// bytes, so step by 8 slots and use slot i*leafPad.
+const leafPad = 8
+
+func newJoinTree(lanes int) *joinTree {
+	nl := (lanes + joinRadix - 1) / joinRadix
+	j := &joinTree{leaves: make([]atomic.Int64, nl*leafPad)}
+	j.done.init()
+	return j
+}
+
+// reset arms the tree for one quantum: counts[i] holds the number of
+// participating lanes on leaf i (0 leaves drop out of the root count),
+// and quantum is the generation the final arrival will publish.
+// Coordinator-only, between quanta — the gate publication that starts
+// the quantum orders this write before every arrival.
+func (j *joinTree) reset(counts []int64, quantum uint64) {
+	nl := int64(0)
+	for i, c := range counts {
+		j.leaves[i*leafPad].Store(c)
+		if c > 0 {
+			nl++
+		}
+	}
+	j.root.Store(nl)
+	j.quantum = quantum
+}
+
+// arrive records lane's quantum completion; the final arrival wakes the
+// coordinator.
+func (j *joinTree) arrive(lane int) {
+	if j.leaves[(lane/joinRadix)*leafPad].Add(-1) == 0 {
+		if j.root.Add(-1) == 0 {
+			j.done.wake(j.quantum)
+		}
+	}
+}
+
+// await parks the coordinator until every participating lane of the
+// given quantum arrived. Must be paired with exactly one reset; spin as
+// in laneGate.wait. Quanta that run entirely inline skip the tree, so
+// the done generation can lag the quantum counter — await loops until it
+// observes this quantum's publication exactly.
+func (j *joinTree) await(quantum uint64, spin bool) {
+	last := j.done.gen.Load()
+	for last != quantum {
+		last = j.done.wait(last, spin)
+	}
+}

@@ -24,6 +24,11 @@ type Kernel struct {
 	events   eventQueue
 	procs    []*Proc
 	live     int // procs spawned and not yet finished
+
+	// Proc spawning support: block storage behind the *Proc pointers and
+	// the shared start/dispatch trampoline Go binds on first use (proc.go).
+	procArena []Proc
+	procFn    func(uint64)
 	stopped  bool
 	maxTick  uint64 // watchdog: Run panics past this tick (0 = unlimited)
 	executed uint64 // total events dispatched, for diagnostics
@@ -161,6 +166,7 @@ func (k *Kernel) dispatchTick(b *bucket) {
 	if b.head == len(b.ev) {
 		b.ev = b.ev[:0]
 		b.head = 0
+		k.events.occ &^= 1 << (t & wheelMask)
 	}
 }
 

@@ -4,40 +4,77 @@ package sim
 // discrete-event simulation over a fixed set of logical domains, in the
 // style of parti-gem5: each domain is an independent sequential Kernel,
 // and domains only interact through cross-domain messages that arrive at
-// least `lookahead` ticks after they are sent. That bound makes every
-// event in the window [T, T+lookahead) safe to dispatch without seeing
-// any message produced elsewhere during the same window, so the domains
-// of a quantum can run concurrently and still dispatch the exact event
-// sequence a serial execution of the same model would.
+// least `lookahead` ticks after they are sent.
+//
+// The synchronization layer is the second generation of the parallel
+// kernel ("barrier-light"): the first generation ran one global
+// all-lanes rendezvous per quantum and merged per-source outboxes into a
+// shared scratch slice under the barrier. Here the rendezvous work is
+// pushed out of the coordinator and mostly out of existence:
+//
+//   - Cross-domain messages travel through fixed-capacity, cache-line-
+//     padded SPSC rings, one per (source, destination) domain pair
+//     (ring.go). A source lane publishes with one release store; the
+//     destination lane drains with batched copies at its own quantum
+//     start. No shared merge scratch exists; the coordinator moves no
+//     message bytes.
+//   - Each destination domain stages not-yet-due messages in a private
+//     pend slice and injects due ones in canonical (tick, srcDomain,
+//     srcSeq) order at its quantum start — so the merge itself runs in
+//     parallel, on the lane that owns the destination.
+//   - The global min-pending-tick jump of the first kernel generalizes
+//     to per-domain horizons: h(d) is the earliest tick at which d can
+//     act (own events, staged messages, undrained rings). A domain runs
+//     a quantum only when h(d) falls inside its window; domains that are
+//     provably idle skip the rendezvous entirely, and a lane none of
+//     whose domains run is never woken.
+//   - The rendezvous itself is a sense-reversing gate per lane plus a
+//     radix-4 combining join tree (barrier.go): waking a lane is one
+//     atomic store, joining is one atomic decrement, and only the
+//     coordinator is ever woken at the join — there is no broadcast
+//     release phase at all.
+//
+// Per-domain window bound. Let A be the set of active domains (finite
+// horizon), H0 = min h(e) over A, and la the lookahead. Domain d may run
+// events up to and including
+//
+//	limit(d) = min( min_{e in A, e != d} h(e) + la,  H0 + 2*la ) - 1
+//
+// The first term covers messages sent to d during this quantum: a domain
+// e only dispatches at ticks >= h(e), so anything it posts arrives at
+// >= h(e) + la > limit(d). The second term covers feedback through
+// domains woken later: every message posted this quantum arrives at
+// >= H0 + la, so after this quantum every horizon is >= H0 + la, and any
+// message posted in a later quantum arrives at >= H0 + 2*la > limit(d).
+// The domain with the minimum horizon always satisfies h <= limit, so
+// every quantum makes progress, and H0 advances by at least la per
+// quantum. When only one domain is active, its window extends to
+// H0 + 2*lookahead - 1 with no rendezvous at all — the serial-phase fast
+// path.
 //
 // Determinism is preserved by construction, not by luck:
 //
-//   - The set of logical domains is fixed by the model, never by the
-//     worker count. Workers are execution lanes; a domain's event stream
-//     is a function of the model alone.
-//   - Cross-domain messages are buffered in per-source outboxes during a
-//     quantum (single-writer: only the goroutine executing the source
-//     domain appends) and merged at the barrier in global
-//     (tick, srcDomain, srcSeq) order. Injection assigns destination
-//     sequence numbers in that canonical order, so same-tick deliveries
-//     at a destination dispatch identically regardless of how many
-//     workers ran the previous quantum.
-//   - Message payloads are four packed uint64 words delivered through a
-//     per-domain slot pool, so steady-state cross-domain traffic
-//     schedules without per-message closures.
-//
-// The coordinator jumps each quantum start to the global minimum pending
-// tick, so long idle gaps (a simulation phase where one domain runs far
-// ahead) cost one barrier, not one barrier per lookahead window.
+//   - The set of logical domains is fixed by the model; workers are
+//     execution lanes. Horizons, window limits, and the set of messages
+//     a destination drains each quantum (the coordinator snapshots ring
+//     occupancy between quanta, and lanes drain exactly that count) are
+//     all functions of the model alone, never of lane count or timing.
+//   - Injection sorts each quantum's due messages by (tick, srcDomain,
+//     srcSeq) — a total order — before assigning destination sequence
+//     numbers, so same-tick deliveries dispatch identically regardless
+//     of how many workers ran the previous quantum, or of how messages
+//     were split between rings, spill slices, and the pend stage.
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
+	"sync/atomic"
 )
 
 // crossMsg is one buffered cross-domain event: a bound callback plus four
 // packed argument words, stamped with its delivery tick and a per-source
-// sequence number that makes the global merge order total.
+// sequence number that makes the canonical injection order total.
 type crossMsg struct {
 	tick uint64
 	seq  uint64 // per-source monotone counter
@@ -50,87 +87,96 @@ type crossMsg struct {
 	a3   uint64
 }
 
-// outLane is one source domain's cross-message staging area: the
-// quantum-local outbox plus the per-source sequence counter that makes
-// the barrier merge order total. Each lane is written only by the
-// goroutine executing its source domain, so lanes are padded to a full
-// host cache line — two lanes appending concurrently from different
-// worker cores must not false-share the slice headers and counters.
-type outLane struct {
-	buf []crossMsg // filled during a quantum, drained at the barrier
-	seq uint64     // per-source message counter
-	_   [64 - (3*8+8)%64]byte
+func crossLess(a, b *crossMsg) bool {
+	if a.tick != b.tick {
+		return a.tick < b.tick
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
 }
 
-// inboxPool holds injected-but-undelivered cross messages of one
-// destination domain. Slots are recycled through a free list so the
-// steady state allocates nothing; the pool is written by the coordinator
-// (at barriers) and read by the domain's executing goroutine (during
-// quanta), which the fork/join channel handoffs order. The pad keeps
-// neighbouring pools on distinct host cache lines for the same reason as
-// outLane: each pool's slices are chased by a different worker core.
-type inboxPool struct {
-	slots []crossMsg
-	free  []int32
-	_     [64 - (2*3*8)%64]byte
+// crossShrinkFloor is the capacity below which cross-message staging
+// slices (pend, inj, spill) are never trimmed: small buffers are noise,
+// and a modest floor avoids regrow churn right after a shrink.
+const crossShrinkFloor = 64
+
+// shrinkCross trims a staging slice once its length falls below a
+// quarter of the grown capacity, so one incast storm does not inflate a
+// long-lived kernel forever — the same guard PR 6 added to the old inbox
+// pools, applied to the ring-era staging buffers. The replacement keeps
+// 2x the live length as hysteresis.
+func shrinkCross(s []crossMsg) []crossMsg {
+	if cap(s) <= crossShrinkFloor || len(s)*4 >= cap(s) {
+		return s
+	}
+	n := len(s) * 2
+	if n < crossShrinkFloor {
+		n = crossShrinkFloor
+	}
+	ns := make([]crossMsg, len(s), n)
+	copy(ns, s)
+	return ns
 }
 
-func (ib *inboxPool) put(m crossMsg) uint64 {
-	if n := len(ib.free); n > 0 {
-		i := ib.free[n-1]
-		ib.free = ib.free[:n-1]
-		ib.slots[i] = m
-		return uint64(i)
-	}
-	ib.slots = append(ib.slots, m)
-	return uint64(len(ib.slots) - 1)
+// srcState is one source domain's posting state: the per-source sequence
+// counter and the spill slice that absorbs ring overflow (writer-owned;
+// the coordinator moves spilled messages to the destination's pend stage
+// between quanta). Padded: each state is written by the lane executing
+// its source domain.
+type srcState struct {
+	seq     uint64
+	spill   []crossMsg
+	spilled uint64
+	_       [64 - (8+24+8)%64]byte
 }
 
-// inboxShrinkFloor is the slot count below which a pool is never trimmed:
-// small pools are noise, and keeping a modest floor avoids regrow churn
-// right after a shrink.
-const inboxShrinkFloor = 64
+// drainSrc is one entry of a destination's per-quantum drain list: take
+// exactly n messages from src's ring. The count is the coordinator's
+// between-quanta snapshot, which keeps the drained set independent of
+// how far concurrent producers have advanced within the quantum.
+type drainSrc struct {
+	src int32
+	n   int32
+}
 
-// shrink trims the pool once occupancy falls below a quarter of the
-// grown size, so one incast storm does not inflate a long-lived kernel
-// forever. Called only at quantum barriers (before injection), when no
-// lane is executing. Occupied slots cannot move — scheduled deliveries
-// hold their indexes — so the trim drops free slots from the tail:
-// deliverSlot zeroes a slot's fn on release, making fn == nil the
-// free-slot marker. An idle pool (occupancy 0) releases its arrays
-// entirely.
-func (ib *inboxPool) shrink() {
-	n := len(ib.slots)
-	if n <= inboxShrinkFloor {
-		return
-	}
-	occ := n - len(ib.free)
-	if occ*4 >= n {
-		return
-	}
-	if occ == 0 {
-		ib.slots, ib.free = nil, nil
-		return
-	}
-	for n > inboxShrinkFloor && n > occ*2 && ib.slots[n-1].fn == nil {
-		n--
-	}
-	if n == len(ib.slots) {
-		return
-	}
-	slots := make([]crossMsg, n)
-	copy(slots, ib.slots[:n])
-	ib.slots = slots
-	w := 0
-	for _, f := range ib.free {
-		if int(f) < n {
-			ib.free[w] = f
-			w++
-		}
-	}
-	free := make([]int32, w)
-	copy(free, ib.free[:w])
-	ib.free = free
+// dstState is one destination domain's staging state. During a quantum
+// it is owned exclusively by the lane executing the domain; between
+// quanta the coordinator appends spilled messages and rebuilds the drain
+// list. The gate/join protocol orders the two phases.
+type dstState struct {
+	pend      []crossMsg // drained but not yet due
+	inj       []crossMsg // this window's deliveries, canonically sorted
+	drainFrom []drainSrc // coordinator-built per-quantum drain list
+	pendMin   uint64     // min delivery tick in pend; ^0 when empty
+	injected  uint64     // messages delivered into this domain
+
+	// Self-posts (src == dst) bypass the rings — they need no
+	// synchronization — and live in a small slot pool so deliveries
+	// scheduled past the current window survive inj reuse.
+	self     []crossMsg
+	selfFree []int32
+}
+
+// pairScan is the coordinator's cached view of one ring: as long as
+// head and tail have not moved, the min delivery tick needs no rescan.
+type pairScan struct {
+	head uint64
+	tail uint64
+	min  uint64
+	act  bool // currently in activePairs
+}
+
+// ParallelStats are the deterministic per-run telemetry counters of the
+// parallel kernel. Every field is a pure function of the model (domain
+// partitioning, lookahead), never of lane count or scheduling timing, so
+// results that embed it stay byte-identical across Domains settings.
+type ParallelStats struct {
+	Quanta         uint64 // synchronization windows executed
+	WindowsSkipped uint64 // domain-windows skipped (active but out of window)
+	CrossMessages  uint64 // cross-domain messages delivered
+	UndeliveredHW  uint64 // high-water mark of posted-but-undelivered messages
 }
 
 // ParallelKernel runs a fixed set of domain kernels under conservative
@@ -138,20 +184,47 @@ func (ib *inboxPool) shrink() {
 // to the per-domain kernels (Domain), and drive with Run.
 type ParallelKernel struct {
 	doms      []*Kernel
+	nd        int
 	lookahead uint64
 	workers   int // requested lanes; clamped to [1, len(doms)] and GOMAXPROCS
+	weight    []uint64
 
-	out    []outLane   // per source domain, single-writer during a quantum
-	inbox  []inboxPool // per destination domain
-	inbFns []func(uint64)
+	rings      []pairRing      // src*nd + dst
+	srcs       []srcState      // per source domain
+	dsts       []dstState      // per destination domain
+	dirty      []atomic.Uint64 // src*dirtyWords + dst/64: pairs pushed since last merge
+	dirtyWords int
 
-	merged []crossMsg // barrier scratch, reused
+	ringSlab []crossMsg // construction-time backing store for Reserve
 
-	lanes   [][]int // lane index -> domains it executes
-	laneRun []bool  // per-lane "has work this quantum" scratch
+	// deliverFn/deliverSelfFn are the kernel-wide delivery trampolines:
+	// the event argument packs (dst<<32 | slot), so the 2*nd per-dst
+	// closures collapse into two. Slot counts are bounded well below 2^32
+	// (a window's injections, a self-post pool).
+	deliverFn     func(uint64)
+	deliverSelfFn func(uint64)
+
+	// Coordinator state, touched only between quanta.
+	cache       []pairScan
+	activePairs []int32
+	ringMin     []uint64 // per destination, rebuilt each quantum
+	horizon     []uint64
+	limits      []uint64
+	runnable    []bool
+	laneOf      []int
+	lanes       [][]int
+	laneHas     []bool
+	gates       []laneGate
+	tree        *joinTree
+	leafCount   []int64
+	panics      []any
+	started     []bool
+	stopping    bool
+	spin        bool
 
 	executedQuanta uint64
-	mergedMsgs     uint64
+	windowsSkipped uint64
+	undeliveredHW  uint64
 }
 
 // NewParallel returns a parallel kernel with the given number of logical
@@ -166,24 +239,55 @@ func NewParallel(domains int, lookahead uint64, workers int) *ParallelKernel {
 	if lookahead == 0 {
 		panic("sim: NewParallel with zero lookahead (no conservative window)")
 	}
+	dw := (domains + 63) / 64
+	// Four per-domain uint64 arrays share one backing allocation; none of
+	// them is ever appended to, so the capped sub-slices cannot collide.
+	u := make([]uint64, 4*domains)
+	karena := make([]Kernel, domains) // block storage behind doms
 	pk := &ParallelKernel{
-		doms:      make([]*Kernel, domains),
-		lookahead: lookahead,
-		workers:   workers,
-		out:       make([]outLane, domains),
-		inbox:     make([]inboxPool, domains),
-		inbFns:    make([]func(uint64), domains),
+		doms:       make([]*Kernel, domains),
+		nd:         domains,
+		lookahead:  lookahead,
+		workers:    workers,
+		weight:     u[0*domains : 1*domains : 1*domains],
+		rings:      make([]pairRing, domains*domains),
+		srcs:       make([]srcState, domains),
+		dsts:       make([]dstState, domains),
+		dirty:      make([]atomic.Uint64, domains*dw),
+		dirtyWords: dw,
+		cache:      make([]pairScan, domains*domains),
+		ringMin:    u[1*domains : 2*domains : 2*domains],
+		horizon:    u[2*domains : 3*domains : 3*domains],
+		limits:     u[3*domains : 4*domains : 4*domains],
+		runnable:   make([]bool, domains),
 	}
+	pk.deliverFn = func(a uint64) {
+		m := &pk.dsts[a>>32].inj[uint32(a)]
+		m.fn(m.a0, m.a1, m.a2, m.a3)
+	}
+	pk.deliverSelfFn = func(a uint64) {
+		ds := &pk.dsts[a>>32]
+		i := uint32(a)
+		m := ds.self[i]
+		ds.self[i] = crossMsg{}
+		ds.selfFree = append(ds.selfFree, int32(i))
+		m.fn(m.a0, m.a1, m.a2, m.a3)
+	}
+	// Every dst's drain list holds at most nd-1 sources; carving them all
+	// from one block removes the per-quantum rebuild's growth appends.
+	df := make([]drainSrc, domains*domains)
 	for d := range pk.doms {
-		pk.doms[d] = New()
-		d := d
-		pk.inbFns[d] = func(slot uint64) { pk.deliverSlot(d, slot) }
+		pk.doms[d] = &karena[d]
+		pk.weight[d] = 1
+		ds := &pk.dsts[d]
+		ds.pendMin = ^uint64(0)
+		ds.drainFrom = df[d*domains : d*domains : (d+1)*domains]
 	}
 	return pk
 }
 
 // Domains reports the number of logical domains.
-func (pk *ParallelKernel) Domains() int { return len(pk.doms) }
+func (pk *ParallelKernel) Domains() int { return pk.nd }
 
 // Domain returns the sequential kernel of logical domain d. Model state
 // pinned to a domain must schedule exclusively on its kernel.
@@ -192,14 +296,70 @@ func (pk *ParallelKernel) Domain(d int) *Kernel { return pk.doms[d] }
 // Lookahead reports the conservative window width in ticks.
 func (pk *ParallelKernel) Lookahead() uint64 { return pk.lookahead }
 
+// SetDomainWeight biases the static domain-to-lane assignment: Run
+// packs domains onto lanes greedily by descending weight (longest-
+// processing-time heuristic), so marking a hub domain heavier than the
+// core domains it serves spreads the real work across lanes instead of
+// hashing domain indexes. Weights only affect wall-clock lane balance,
+// never dispatch order. The default weight is 1.
+func (pk *ParallelKernel) SetDomainWeight(d int, weight uint64) {
+	if weight == 0 {
+		weight = 1
+	}
+	pk.weight[d] = weight
+}
+
+// Reserve preallocates the (src, dst) pair ring's buffer from a shared
+// construction-time slab. Rings normally allocate lazily on first push;
+// a fabric that knows its communication topology (every core talks to
+// every hub and vice versa) reserves those pairs up front, collapsing
+// one allocation per ring into one slab allocation per eight rings.
+// Construction-time only: must not be called concurrently with Run.
+func (pk *ParallelKernel) Reserve(src, dst int) {
+	r := &pk.rings[src*pk.nd+dst]
+	if r.buf != nil || src == dst {
+		return
+	}
+	const slabRings = 32
+	if cap(pk.ringSlab)-len(pk.ringSlab) < ringCap {
+		pk.ringSlab = make([]crossMsg, 0, slabRings*ringCap)
+	}
+	n := len(pk.ringSlab)
+	pk.ringSlab = pk.ringSlab[:n+ringCap]
+	r.buf = pk.ringSlab[n : n+ringCap : n+ringCap]
+	// A reserved pair is one that will see traffic: presize the dst's
+	// staging arrays to the shrink floor now, carved from the same slab,
+	// collapsing the run-time append-growth chain. The shrink guard never
+	// trims below the floor, so the carved arrays are stable; growth past
+	// the floor falls back to ordinary append reallocation.
+	ds := &pk.dsts[dst]
+	if cap(ds.pend) < crossShrinkFloor {
+		ds.pend = pk.carveStage()
+	}
+	if cap(ds.inj) < crossShrinkFloor {
+		ds.inj = pk.carveStage()
+	}
+}
+
+// carveStage cuts one zero-length, floor-capacity staging array from the
+// construction-time slab.
+func (pk *ParallelKernel) carveStage() []crossMsg {
+	if cap(pk.ringSlab)-len(pk.ringSlab) < crossShrinkFloor {
+		pk.ringSlab = make([]crossMsg, 0, 32*ringCap)
+	}
+	n := len(pk.ringSlab)
+	pk.ringSlab = pk.ringSlab[:n+crossShrinkFloor]
+	return pk.ringSlab[n:n : n+crossShrinkFloor]
+}
+
 // Workers reports the effective lane count Run will use.
 func (pk *ParallelKernel) Workers() int {
 	w := pk.workers
 	if w < 1 {
 		w = 1
 	}
-	if w > len(pk.doms) {
-		w = len(pk.doms)
+	if w > pk.nd {
+		w = pk.nd
 	}
 	if mp := runtime.GOMAXPROCS(0); w > mp {
 		w = mp
@@ -207,22 +367,13 @@ func (pk *ParallelKernel) Workers() int {
 	return w
 }
 
-// deliverSlot dispatches one injected cross message in its destination
-// domain, releasing the slot for reuse.
-func (pk *ParallelKernel) deliverSlot(d int, slot uint64) {
-	ib := &pk.inbox[d]
-	m := ib.slots[slot]
-	ib.slots[slot] = crossMsg{} // release fn reference
-	ib.free = append(ib.free, int32(slot))
-	m.fn(m.a0, m.a1, m.a2, m.a3)
-}
-
 // Post buffers a cross-domain event: fn(a0..a3) will run in domain dst at
 // the absolute tick given. The tick must be at least lookahead past the
 // source domain's clock — that is the conservative contract every
 // cross-domain path (bus hop + serialization) satisfies by construction;
 // violating it would let a quantum observe a message sent within it, so
-// Post panics loudly instead.
+// Post panics loudly instead. Must be called from the lane executing the
+// source domain (or before Run).
 func (pk *ParallelKernel) Post(src, dst int, tick uint64, fn func(a0, a1, a2, a3 uint64), a0, a1, a2, a3 uint64) {
 	if fn == nil {
 		panic("sim: cross-domain post with nil fn")
@@ -232,213 +383,459 @@ func (pk *ParallelKernel) Post(src, dst int, tick uint64, fn func(a0, a1, a2, a3
 		panic(fmt.Sprintf("sim: cross-domain post from %d to %d at tick %d violates lookahead %d (src now %d)",
 			src, dst, tick, pk.lookahead, k.now))
 	}
-	lane := &pk.out[src]
-	lane.seq++
-	lane.buf = append(lane.buf, crossMsg{
-		tick: tick, seq: lane.seq, src: int32(src), dst: int32(dst),
+	s := &pk.srcs[src]
+	s.seq++
+	m := crossMsg{
+		tick: tick, seq: s.seq, src: int32(src), dst: int32(dst),
 		fn: fn, a0: a0, a1: a1, a2: a2, a3: a3,
-	})
-}
-
-// minNextTick scans the domains for the earliest pending event.
-func (pk *ParallelKernel) minNextTick() (uint64, bool) {
-	var min uint64
-	found := false
-	for _, k := range pk.doms {
-		if t, ok := k.NextTick(); ok && (!found || t < min) {
-			min = t
-			found = true
+	}
+	if src == dst {
+		// Same-kernel delivery needs no synchronization: schedule
+		// directly through a pooled slot. Deterministic — the posting
+		// event itself is part of the domain's canonical stream.
+		ds := &pk.dsts[dst]
+		var i int32
+		if n := len(ds.selfFree); n > 0 {
+			i = ds.selfFree[n-1]
+			ds.selfFree = ds.selfFree[:n-1]
+			ds.self[i] = m
+		} else {
+			i = int32(len(ds.self))
+			ds.self = append(ds.self, m)
 		}
-	}
-	return min, found
-}
-
-// runDomains executes every listed domain that has work in the quantum
-// window, up to (and including) the inclusive limit tick. Taking the
-// window end as an inclusive bound — rather than an exclusive horizon
-// that callers subtract one from — keeps the arithmetic safe for
-// far-future open-loop arrivals near the top of the uint64 tick range.
-func (pk *ParallelKernel) runDomains(doms []int, limit uint64) {
-	for _, d := range doms {
-		k := pk.doms[d]
-		if t, ok := k.NextTick(); ok && t <= limit {
-			k.RunUntil(limit)
-		}
-	}
-}
-
-// mergeOutboxes drains every source outbox, sorts the union by
-// (tick, srcDomain, srcSeq), and injects each message into its
-// destination kernel. Injection order fixes the destination sequence
-// numbers, so the canonical sort makes same-tick cross deliveries
-// dispatch identically for every worker count.
-func (pk *ParallelKernel) mergeOutboxes() {
-	// Barrier point: no lane is executing, so inbox pools are safe to
-	// trim. Shrinking before injection sees the post-quantum occupancy —
-	// a storm's slots have just been delivered and freed.
-	for d := range pk.inbox {
-		pk.inbox[d].shrink()
-	}
-	m := pk.merged[:0]
-	for src := range pk.out {
-		m = append(m, pk.out[src].buf...)
-		pk.out[src].buf = pk.out[src].buf[:0]
-	}
-	if len(m) == 0 {
-		pk.merged = m
+		k.AtFunc(tick, pk.deliverSelfFn, uint64(dst)<<32|uint64(uint32(i)))
+		ds.injected++
 		return
 	}
-	// Insertion sort: merges are small (a handful of messages per
-	// barrier) and this keeps the barrier allocation-free.
-	for i := 1; i < len(m); i++ {
-		e := m[i]
+	if !pk.rings[src*pk.nd+dst].push(m) {
+		s.spill = append(s.spill, m)
+		s.spilled++
+	}
+	// Mark the pair dirty so the coordinator (re)activates it at the
+	// next merge. The word is written only by this source's lane during
+	// quanta and only by the coordinator between quanta, so a plain
+	// load/store pair is race-free under the gate/join ordering.
+	wd := &pk.dirty[src*pk.dirtyWords+dst>>6]
+	wd.Store(wd.Load() | 1<<(uint(dst)&63))
+}
+
+// addClamp returns a+b saturated at the top of the tick range, so
+// far-future horizons (open-loop arrivals, deadline sentinels) never
+// wrap into the past.
+func addClamp(a, b uint64) uint64 {
+	s := a + b
+	if s < a {
+		return ^uint64(0)
+	}
+	return s
+}
+
+// mergeDirty folds the per-source dirty bitmaps into the active-pair
+// list. Coordinator-only, between quanta.
+func (pk *ParallelKernel) mergeDirty() {
+	nd := pk.nd
+	for src := 0; src < nd; src++ {
+		for w := 0; w < pk.dirtyWords; w++ {
+			wd := &pk.dirty[src*pk.dirtyWords+w]
+			v := wd.Load()
+			if v == 0 {
+				continue
+			}
+			wd.Store(0)
+			for v != 0 {
+				dst := w*64 + bits.TrailingZeros64(v)
+				v &= v - 1
+				p := int32(src*nd + dst)
+				if !pk.cache[p].act {
+					pk.cache[p].act = true
+					pk.activePairs = append(pk.activePairs, p)
+				}
+			}
+		}
+	}
+}
+
+// moveSpills transfers ring-overflow messages into their destinations'
+// pend stages. Coordinator-only, between quanta — the destination lanes
+// are parked, so appending to pend is safe.
+func (pk *ParallelKernel) moveSpills() {
+	for s := range pk.srcs {
+		sp := pk.srcs[s].spill
+		for i := range sp {
+			m := &sp[i]
+			ds := &pk.dsts[m.dst]
+			ds.pend = append(ds.pend, *m)
+			if m.tick < ds.pendMin {
+				ds.pendMin = m.tick
+			}
+		}
+		pk.srcs[s].spill = shrinkCross(sp[:0])
+	}
+}
+
+// scanPairs refreshes the coordinator's view of every active ring:
+// per-destination minimum buffered tick (into pk.ringMin) and the total
+// undelivered count (returned). Pairs observed empty are deactivated.
+func (pk *ParallelKernel) scanPairs() uint64 {
+	nd := pk.nd
+	for d := 0; d < nd; d++ {
+		pk.ringMin[d] = ^uint64(0)
+	}
+	var und uint64
+	for i := 0; i < len(pk.activePairs); {
+		p := pk.activePairs[i]
+		r := &pk.rings[p]
+		h := r.head.Load()
+		t := r.tail.Load()
+		if h == t {
+			pk.cache[p].act = false
+			last := len(pk.activePairs) - 1
+			pk.activePairs[i] = pk.activePairs[last]
+			pk.activePairs = pk.activePairs[:last]
+			continue
+		}
+		c := &pk.cache[p]
+		if c.head != h || c.tail != t {
+			min := ^uint64(0)
+			for x := h; x != t; x++ {
+				if tk := r.buf[x&ringMask].tick; tk < min {
+					min = tk
+				}
+			}
+			c.head, c.tail, c.min = h, t, min
+		}
+		dst := int(p) % nd
+		if c.min < pk.ringMin[dst] {
+			pk.ringMin[dst] = c.min
+		}
+		und += t - h
+		i++
+	}
+	return und
+}
+
+// injectDomain runs on the lane owning destination d at its quantum
+// start: drain the coordinator-listed ring counts into pend, split out
+// the messages due in this window, sort them canonically, and schedule
+// them. The canonical (tick, srcDomain, srcSeq) sort is what makes the
+// destination's sequence assignment — and therefore its dispatch trace —
+// independent of lane count and of the ring/spill/pend path each message
+// happened to take.
+func (pk *ParallelKernel) injectDomain(d int, limit uint64) {
+	ds := &pk.dsts[d]
+	pend := ds.pend
+	for _, df := range ds.drainFrom {
+		pend = pk.rings[int(df.src)*pk.nd+d].drainN(pend, uint64(df.n))
+	}
+	inj := ds.inj
+	if cap(inj) > crossShrinkFloor && len(inj)*4 < cap(inj) {
+		inj = shrinkCross(inj)
+	}
+	inj = inj[:0]
+	w := 0
+	pmin := ^uint64(0)
+	for i := range pend {
+		if pend[i].tick <= limit {
+			inj = append(inj, pend[i])
+		} else {
+			pend[w] = pend[i]
+			if pend[i].tick < pmin {
+				pmin = pend[i].tick
+			}
+			w++
+		}
+	}
+	pend = pend[:w]
+	ds.pend = shrinkCross(pend)
+	ds.pendMin = pmin
+	if len(inj) == 0 {
+		ds.inj = inj
+		return
+	}
+	// Insertion sort: windows carry a handful of messages, and the sort
+	// runs allocation-free on the destination's own lane.
+	for i := 1; i < len(inj); i++ {
+		e := inj[i]
 		j := i - 1
-		for j >= 0 && crossLess(&e, &m[j]) {
-			m[j+1] = m[j]
+		for j >= 0 && crossLess(&e, &inj[j]) {
+			inj[j+1] = inj[j]
 			j--
 		}
-		m[j+1] = e
+		inj[j+1] = e
 	}
-	for i := range m {
-		msg := &m[i]
-		slot := pk.inbox[msg.dst].put(*msg)
-		pk.doms[msg.dst].AtFunc(msg.tick, pk.inbFns[msg.dst], slot)
-		m[i] = crossMsg{} // release fn reference
+	k := pk.doms[d]
+	hi := uint64(d) << 32
+	for i := range inj {
+		k.AtFunc(inj[i].tick, pk.deliverFn, hi|uint64(uint32(i)))
 	}
-	pk.mergedMsgs += uint64(len(m))
-	pk.merged = m[:0]
+	ds.injected += uint64(len(inj))
+	ds.inj = inj
 }
 
-func crossLess(a, b *crossMsg) bool {
-	if a.tick != b.tick {
-		return a.tick < b.tick
-	}
-	if a.src != b.src {
-		return a.src < b.src
-	}
-	return a.seq < b.seq
-}
-
-// laneWorker is one persistent execution lane: it parks on req, runs its
-// domains to the received window limit, and reports any recovered panic.
-type laneWorker struct {
-	req  chan uint64
-	resp chan any
-}
-
-func (pk *ParallelKernel) laneLoop(w *laneWorker, doms []int) {
-	for limit := range w.req {
-		var pv any
-		func() {
-			defer func() { pv = recover() }()
-			pk.runDomains(doms, limit)
-		}()
-		w.resp <- pv
+// runLane executes every runnable domain assigned to lane, injecting
+// staged cross messages first.
+func (pk *ParallelKernel) runLane(lane int) {
+	for _, d := range pk.lanes[lane] {
+		if !pk.runnable[d] {
+			continue
+		}
+		limit := pk.limits[d]
+		pk.injectDomain(d, limit)
+		pk.doms[d].RunUntil(limit)
 	}
 }
 
-// Run drives every domain to completion under conservative quantum
-// synchronization. Each iteration jumps to the global minimum pending
-// tick T, runs all domains with work in [T, T+lookahead) — concurrently
-// across lanes — then merges cross-domain messages at the barrier. Run
-// returns when no domain has pending events and no messages are in
-// flight; domain clocks are then normalized to the last dispatched tick
-// so per-domain time integrals (line occupancy) cover a common window.
+func (pk *ParallelKernel) runLaneRecover(lane int) {
+	defer func() { pk.panics[lane] = recover() }()
+	pk.runLane(lane)
+}
+
+// laneLoop is one persistent worker lane: woken by its gate for quanta
+// in which it has runnable domains, it executes them and arrives at the
+// join tree. The stop flag is published before the final wake.
+func (pk *ParallelKernel) laneLoop(lane int) {
+	last := uint64(0)
+	for {
+		gen := pk.gates[lane].wait(last, pk.spin)
+		last = gen
+		if pk.stopping {
+			return
+		}
+		pk.runLaneRecover(lane)
+		pk.tree.arrive(lane)
+	}
+}
+
+// assignLanes builds the static domain-to-lane map: greedy longest-
+// processing-time packing by descending weight (ties broken by domain
+// index, lanes by index), so the assignment is deterministic and heavy
+// domains (hubs) land on distinct lanes before light ones fill in.
+func (pk *ParallelKernel) assignLanes(w int) {
+	nd := pk.nd
+	order := make([]int, nd)
+	for d := range order {
+		order[d] = d
+	}
+	// Insertion sort by (weight desc, domain asc).
+	for i := 1; i < nd; i++ {
+		e := order[i]
+		j := i - 1
+		for j >= 0 && pk.weight[order[j]] < pk.weight[e] {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = e
+	}
+	pk.lanes = make([][]int, w)
+	pk.laneOf = make([]int, nd)
+	load := make([]uint64, w)
+	for _, d := range order {
+		best := 0
+		for l := 1; l < w; l++ {
+			if load[l] < load[best] {
+				best = l
+			}
+		}
+		load[best] += pk.weight[d]
+		pk.laneOf[d] = best
+		pk.lanes[best] = append(pk.lanes[best], d)
+	}
+	// Execute each lane's domains in index order (order within a lane
+	// cannot affect any trace; this just keeps runs tidy to reason
+	// about).
+	for l := range pk.lanes {
+		ds := pk.lanes[l]
+		for i := 1; i < len(ds); i++ {
+			e := ds[i]
+			j := i - 1
+			for j >= 0 && ds[j] > e {
+				ds[j+1] = ds[j]
+				j--
+			}
+			ds[j+1] = e
+		}
+	}
+}
+
+// Run drives every domain to completion under conservative per-domain
+// window synchronization (see the file comment for the window bound and
+// its safety argument). Run returns when no domain has pending events
+// and no messages are in flight; domain clocks are then normalized to
+// the last dispatched tick so per-domain time integrals (line occupancy)
+// cover a common window.
 //
 // A panic inside any domain (watchdog deadline, model invariant) is
 // re-raised on the calling goroutine after all lanes have parked.
 func (pk *ParallelKernel) Run() {
-	nd := len(pk.doms)
+	nd := pk.nd
 	w := pk.Workers()
-
-	// Static domain -> lane assignment: round-robin spreads the heavy
-	// neighbouring domains (cores of one workload region) across lanes.
-	pk.lanes = make([][]int, w)
-	for d := 0; d < nd; d++ {
-		pk.lanes[d%w] = append(pk.lanes[d%w], d)
+	pk.assignLanes(w)
+	pk.gates = make([]laneGate, w)
+	for i := range pk.gates {
+		pk.gates[i].init()
 	}
-	pk.laneRun = make([]bool, w)
+	pk.tree = newJoinTree(w)
+	pk.leafCount = make([]int64, (w+joinRadix-1)/joinRadix)
+	pk.panics = make([]any, w)
+	pk.laneHas = make([]bool, w)
+	pk.started = make([]bool, w)
+	pk.stopping = false
+	pk.spin = w > 1
 
-	// Lane 0 runs inline on the coordinator goroutine; lanes 1..w-1 get
-	// persistent parked workers. Quanta where only one lane has work —
-	// common during serial phases — then cost no channel handoffs at all.
-	workers := make([]*laneWorker, w)
-	for i := 1; i < w; i++ {
-		lw := &laneWorker{req: make(chan uint64), resp: make(chan any, 1)}
-		workers[i] = lw
-		go pk.laneLoop(lw, pk.lanes[i])
-	}
 	defer func() {
+		pk.stopping = true
 		for i := 1; i < w; i++ {
-			close(workers[i].req)
+			if pk.started[i] {
+				pk.gates[i].wake(^uint64(0))
+			}
 		}
 	}()
 
+	la := pk.lookahead
+	q := uint64(0)
 	for {
-		start, ok := pk.minNextTick()
-		if !ok {
+		// ---- coordinator phase: all lanes parked ----
+		pk.mergeDirty()
+		pk.moveSpills()
+		und := pk.scanPairs()
+
+		// Per-domain horizons and the global minimum.
+		H0 := ^uint64(0)
+		for d := 0; d < nd; d++ {
+			h := ^uint64(0)
+			if t, ok := pk.doms[d].NextTick(); ok {
+				h = t
+			}
+			if pm := pk.dsts[d].pendMin; pm < h {
+				h = pm
+			}
+			if rm := pk.ringMin[d]; rm < h {
+				h = rm
+			}
+			pk.horizon[d] = h
+			if h < H0 {
+				H0 = h
+			}
+			und += uint64(len(pk.dsts[d].pend))
+		}
+		if H0 == ^uint64(0) {
 			break
 		}
-		// limit is the quantum window's inclusive end: [start, limit].
-		// The unchecked form start+lookahead-1 wraps for far-future
-		// open-loop arrivals near the top of the tick range, which would
-		// either run domains unbounded (conservative violation) or mark
-		// no lane runnable and livelock the barrier loop; clamp to the
-		// end of time instead — no cross message can be scheduled past
-		// it, so the final window is safe to run to completion.
-		limit := start + (pk.lookahead - 1)
-		if limit < start {
-			limit = ^uint64(0)
+		if und > pk.undeliveredHW {
+			pk.undeliveredHW = und
+		}
+
+		// Two smallest horizons, for the min-excluding-self term.
+		min1, min2 := ^uint64(0), ^uint64(0)
+		arg1 := -1
+		for d := 0; d < nd; d++ {
+			h := pk.horizon[d]
+			if h < min1 {
+				min2 = min1
+				min1, arg1 = h, d
+			} else if h < min2 {
+				min2 = h
+			}
+		}
+
+		feedback := addClamp(H0, 2*la)
+		for d := 0; d < nd; d++ {
+			h := pk.horizon[d]
+			if h == ^uint64(0) {
+				pk.runnable[d] = false
+				continue
+			}
+			other := min1
+			if d == arg1 {
+				other = min2
+			}
+			lim := addClamp(other, la)
+			if feedback < lim {
+				lim = feedback
+			}
+			if lim != ^uint64(0) {
+				lim--
+			}
+			pk.limits[d] = lim
+			if h <= lim {
+				pk.runnable[d] = true
+			} else {
+				pk.runnable[d] = false
+				pk.windowsSkipped++
+			}
 		}
 		pk.executedQuanta++
 
-		// Mark lanes with work this quantum.
-		inlineOnly := true
-		for i := range pk.laneRun {
-			pk.laneRun[i] = false
-		}
+		// Per-quantum drain lists for the runnable destinations: exactly
+		// the ring counts snapshotted above, so the drained set is
+		// timing-independent.
 		for d := 0; d < nd; d++ {
-			if t, ok := pk.doms[d].NextTick(); ok && t <= limit {
-				lane := d % w
-				pk.laneRun[lane] = true
-				if lane != 0 {
-					inlineOnly = false
-				}
+			if pk.runnable[d] {
+				pk.dsts[d].drainFrom = pk.dsts[d].drainFrom[:0]
+			}
+		}
+		for _, p := range pk.activePairs {
+			dst := int(p) % nd
+			if !pk.runnable[dst] {
+				continue
+			}
+			c := &pk.cache[p]
+			if n := c.tail - c.head; n > 0 {
+				pk.dsts[dst].drainFrom = append(pk.dsts[dst].drainFrom,
+					drainSrc{src: int32(int(p) / nd), n: int32(n)})
 			}
 		}
 
-		var firstPanic any
-		if inlineOnly {
-			pk.runDomains(pk.lanes[0], limit)
-		} else {
-			for i := 1; i < w; i++ {
-				if pk.laneRun[i] {
-					workers[i].req <- limit
-				}
-			}
-			if pk.laneRun[0] {
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							firstPanic = r
-						}
-					}()
-					pk.runDomains(pk.lanes[0], limit)
-				}()
-			}
-			for i := 1; i < w; i++ {
-				if pk.laneRun[i] {
-					if pv := <-workers[i].resp; pv != nil && firstPanic == nil {
-						firstPanic = pv
+		// ---- execution phase ----
+		inline := true
+		for l := range pk.laneHas {
+			pk.laneHas[l] = false
+		}
+		for d := 0; d < nd; d++ {
+			if pk.runnable[d] {
+				l := pk.laneOf[d]
+				if !pk.laneHas[l] {
+					pk.laneHas[l] = true
+					if l != 0 {
+						inline = false
 					}
 				}
 			}
 		}
-		if firstPanic != nil {
-			panic(firstPanic)
+		q++
+		if inline {
+			// Quanta confined to the coordinator's lane skip the gate
+			// and tree entirely — serial phases cost no synchronization.
+			pk.runLane(0)
+			continue
 		}
-
-		pk.mergeOutboxes()
+		for i := range pk.leafCount {
+			pk.leafCount[i] = 0
+		}
+		for l := 1; l < w; l++ {
+			if pk.laneHas[l] {
+				pk.leafCount[l/joinRadix]++
+			}
+		}
+		pk.tree.reset(pk.leafCount, q)
+		for l := 1; l < w; l++ {
+			if pk.laneHas[l] {
+				if !pk.started[l] {
+					pk.started[l] = true
+					go pk.laneLoop(l)
+				}
+				pk.gates[l].wake(q)
+			}
+		}
+		if pk.laneHas[0] {
+			pk.runLaneRecover(0)
+		}
+		pk.tree.await(q, pk.spin)
+		for l := 0; l < w; l++ {
+			if pv := pk.panics[l]; pv != nil {
+				panic(pv)
+			}
+		}
 	}
 
 	// Normalize domain clocks so cross-domain time integrals share one
@@ -485,19 +882,59 @@ func (pk *ParallelKernel) LiveProcs() int {
 // (diagnostics: barrier-rate tuning).
 func (pk *ParallelKernel) Quanta() uint64 { return pk.executedQuanta }
 
-// InboxSlots reports the total cross-message slots currently held across
-// all destination pools — the memory high-water diagnostic the shrink
-// regression test bounds after a burst-then-idle run.
-func (pk *ParallelKernel) InboxSlots() int {
-	n := 0
-	for d := range pk.inbox {
-		n += len(pk.inbox[d].slots)
+// WindowsSkipped reports how many (domain, quantum) rendezvous were
+// skipped because the domain's horizon lay beyond its window — the
+// barrier-skip effectiveness counter.
+func (pk *ParallelKernel) WindowsSkipped() uint64 { return pk.windowsSkipped }
+
+// CrossMessages reports how many cross-domain messages were delivered.
+func (pk *ParallelKernel) CrossMessages() uint64 {
+	var n uint64
+	for d := range pk.dsts {
+		n += pk.dsts[d].injected
 	}
 	return n
 }
 
-// CrossMessages reports how many cross-domain messages were merged.
-func (pk *ParallelKernel) CrossMessages() uint64 { return pk.mergedMsgs }
+// Spilled reports how many messages overflowed their pair ring into the
+// spill path. Unlike Stats, the split between ring and spill can depend
+// on drain timing within a quantum, so this is a diagnostic only.
+func (pk *ParallelKernel) Spilled() uint64 {
+	var n uint64
+	for s := range pk.srcs {
+		n += pk.srcs[s].spilled
+	}
+	return n
+}
+
+// UndeliveredHighWater reports the maximum number of posted-but-
+// undelivered cross messages observed at any quantum boundary.
+func (pk *ParallelKernel) UndeliveredHighWater() uint64 { return pk.undeliveredHW }
+
+// Stats returns the deterministic telemetry counters for this run.
+func (pk *ParallelKernel) Stats() ParallelStats {
+	return ParallelStats{
+		Quanta:         pk.executedQuanta,
+		WindowsSkipped: pk.windowsSkipped,
+		CrossMessages:  pk.CrossMessages(),
+		UndeliveredHW:  pk.undeliveredHW,
+	}
+}
+
+// CrossCapacity reports the total staging capacity (pend, inj, spill
+// slices) currently held across all domains — the memory high-water
+// diagnostic the shrink regression test bounds after a burst-then-idle
+// run. Ring buffers are fixed-capacity and excluded.
+func (pk *ParallelKernel) CrossCapacity() int {
+	n := 0
+	for d := range pk.dsts {
+		n += cap(pk.dsts[d].pend) + cap(pk.dsts[d].inj)
+	}
+	for s := range pk.srcs {
+		n += cap(pk.srcs[s].spill)
+	}
+	return n
+}
 
 // SetDeadline arms the watchdog on every domain kernel.
 func (pk *ParallelKernel) SetDeadline(t uint64) {

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"runtime"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -182,6 +184,179 @@ func TestParallelIdleGapJump(t *testing.T) {
 	}
 	if got := pk.LastEventTick(); got != 1_000_000 {
 		t.Fatalf("LastEventTick = %d, want 1000000", got)
+	}
+}
+
+// TestParallelMultiLaneForced raises GOMAXPROCS so worker goroutines,
+// gates, and the join tree genuinely run (single-proc hosts otherwise
+// clamp every run to the inline lane) and proves the multi-lane trace,
+// stats, and checksums match the single-lane run exactly. Under -race
+// this is the end-to-end concurrency proof for the quantum protocol.
+func TestParallelMultiLaneForced(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const domains, rounds = 9, 200
+	run := func(workers int) (uint64, ParallelStats, []uint64) {
+		pk, ds := buildPingRing(domains, rounds, workers)
+		tr := pk.InstallTrace()
+		pk.SetDeadline(1 << 30)
+		pk.Run()
+		sums := make([]uint64, domains)
+		for d, pd := range ds {
+			if pd.got != rounds {
+				t.Fatalf("workers=%d: domain %d got %d/%d messages", workers, d, pd.got, rounds)
+			}
+			sums[d] = pd.sum
+		}
+		return tr.Sum(), pk.Stats(), sums
+	}
+	baseHash, baseStats, baseSums := run(1)
+	for _, w := range []int{2, 4, 8} {
+		hash, stats, sums := run(w)
+		if hash != baseHash {
+			t.Errorf("workers=%d: trace hash %#x != workers=1 hash %#x", w, hash, baseHash)
+		}
+		if stats != baseStats {
+			t.Errorf("workers=%d: stats %+v != workers=1 stats %+v (lane count leaked into telemetry)",
+				w, stats, baseStats)
+		}
+		for d := range sums {
+			if sums[d] != baseSums[d] {
+				t.Errorf("workers=%d: domain %d checksum %#x != %#x", w, d, sums[d], baseSums[d])
+			}
+		}
+	}
+}
+
+// buildSkipHeavy constructs the barrier-skip-heavy workload: one busy
+// source domain streams paced messages to a mostly idle far domain at
+// widely spread delivery ticks, while two chatty domains exchange dense
+// traffic. The far domain's horizon sits beyond its window for most
+// quanta, so it skips the rendezvous; the chatty pair keeps the quantum
+// loop hot so there are many windows to skip.
+func buildSkipHeavy(workers int) (*ParallelKernel, *pingDomain) {
+	const la = 13
+	pk := NewParallel(4, la, workers)
+	far := &pingDomain{pk: pk, id: 3, sig: NewSignal("skip.got")}
+	far.deliverFn = func(a0, a1, a2, a3 uint64) {
+		far.got++
+		far.sum = TraceFold(far.sum, a0, a1) // order-sensitive fold
+		far.sig.Fire()
+	}
+	const farMsgs = 60
+	pk.Domain(0).Go("skip/src", func(p *Proc) {
+		for i := 0; i < farMsgs; i++ {
+			p.Sleep(3)
+			// Deliveries land far beyond the lookahead, so domain 3 has
+			// nothing due for many consecutive windows.
+			pk.Post(0, 3, p.Now()+la+uint64(200+i*37%500), far.deliverFn,
+				uint64(i), uint64(i*i), 0, 0)
+		}
+	})
+	pk.Domain(3).Go("skip/far", func(p *Proc) {
+		WaitUntil(p, far.sig, func() bool { return far.got == farMsgs })
+	})
+	noop := func(a0, a1, a2, a3 uint64) {}
+	for _, d := range []int{1, 2} {
+		d := d
+		other := 3 - d
+		pk.Domain(d).Go("skip/chat", func(p *Proc) {
+			for i := 0; i < 400; i++ {
+				p.Sleep(1 + uint64(i%3))
+				pk.Post(d, other, p.Now()+la, noop, uint64(d), uint64(i), 0, 0)
+			}
+		})
+	}
+	return pk, far
+}
+
+// goldenSkipHeavyTrace pins the dispatch trace of the barrier-skip-heavy
+// workload, so window-skipping never silently changes what a skipping
+// domain observes. Recorded at workers=1; the test proves every lane
+// count reproduces it.
+const goldenSkipHeavyTrace uint64 = 0x6e2a77d5d410578e
+
+// TestParallelBarrierSkipCorrectness proves a domain that skips many
+// rendezvous windows still observes every message addressed to it, in
+// canonical (tick, srcDomain, srcSeq) order, with a trace hash identical
+// across lane counts and pinned against the golden constant.
+func TestParallelBarrierSkipCorrectness(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	type outcome struct {
+		hash, sum uint64
+		stats     ParallelStats
+	}
+	run := func(workers int) outcome {
+		pk, far := buildSkipHeavy(workers)
+		tr := pk.InstallTrace()
+		pk.SetDeadline(1 << 30)
+		pk.Run()
+		if far.got != 60 {
+			t.Fatalf("workers=%d: far domain got %d/60 messages (skip lost traffic)", workers, far.got)
+		}
+		return outcome{hash: tr.Sum(), sum: far.sum, stats: pk.Stats()}
+	}
+	base := run(1)
+	if base.stats.WindowsSkipped == 0 {
+		t.Fatal("skip-heavy workload skipped zero windows; workload no longer exercises barrier skip")
+	}
+	if base.hash != goldenSkipHeavyTrace {
+		t.Errorf("skip-heavy trace hash %#x, golden %#x", base.hash, goldenSkipHeavyTrace)
+	}
+	for _, w := range []int{2, 4} {
+		o := run(w)
+		if o.hash != base.hash || o.sum != base.sum || o.stats != base.stats {
+			t.Errorf("workers=%d: (hash, sum, stats) = (%#x, %#x, %+v), want (%#x, %#x, %+v)",
+				w, o.hash, o.sum, o.stats, base.hash, base.sum, base.stats)
+		}
+	}
+}
+
+// TestParallelSkippedDomainDeliveryOrder checks the skip contract at the
+// message level: messages posted to a skipping domain from several
+// sources at interleaved ticks arrive exactly in (tick, srcDomain,
+// srcSeq) order, even though they were staged across many quanta.
+func TestParallelSkippedDomainDeliveryOrder(t *testing.T) {
+	const la = 5
+	pk := NewParallel(4, la, 1)
+	type stamp struct{ tick, src, seq uint64 }
+	var got []stamp
+	recv := func(a0, a1, a2, a3 uint64) { got = append(got, stamp{a0, a1, a2}) }
+	var want []stamp
+	for _, src := range []int{2, 0, 1} {
+		src := src
+		seq := uint64(0)
+		pk.Domain(src).Go("order/src", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Sleep(uint64(1 + (src+i)%4))
+				// Collide delivery ticks across sources on purpose: the
+				// tick grid is coarser than the send pacing.
+				tick := (p.Now()+la+uint64(100+i*13%200))/8*8 + 8
+				seq++
+				want = append(want, stamp{tick, uint64(src), seq})
+				pk.Post(src, 3, tick, recv, tick, uint64(src), seq, 0)
+			}
+		})
+	}
+	pk.SetDeadline(1 << 30)
+	pk.Run()
+	sort.Slice(want, func(i, j int) bool {
+		a, b := want[i], want[j]
+		if a.tick != b.tick {
+			return a.tick < b.tick
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d messages, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery %d: got (tick %d, src %d, seq %d), want (tick %d, src %d, seq %d)",
+				i, got[i].tick, got[i].src, got[i].seq, want[i].tick, want[i].src, want[i].seq)
+		}
 	}
 }
 

@@ -17,14 +17,21 @@ type Proc struct {
 	// process sends to park itself — so one unbuffered channel carries
 	// both directions: at any moment at most one side is sending and the
 	// other receiving, and each wake or park is exactly one handoff.
-	sync       chan struct{}
-	dispatchFn func(uint64) // dispatch bound once, for AfterFunc scheduling
-	started    bool
-	finished   bool
-	aborted    bool
-	wakes      uint64   // diagnostic: number of times resumed
-	cell       WaitCell // wake-token state shared with kernel-side waiters
+	sync     chan struct{}
+	body     func(p *Proc) // held until the start event runs, then released
+	idx      uint64        // procs index << 1: the kernel trampoline's dispatch arg
+	started  bool
+	finished bool
+	aborted  bool
+	wakes    uint64   // diagnostic: number of times resumed
+	cell     WaitCell // wake-token state shared with kernel-side waiters
 }
+
+// procArenaBlock batches Proc storage: a system spawns a few dozen
+// processes at setup, so block storage turns one heap object per spawn
+// into one per block. Blocks are replaced when full, never grown in
+// place, so *Proc pointers stay valid.
+const procArenaBlock = 16
 
 // procAbort is the panic value used to unwind an abandoned process.
 type procAbort struct{}
@@ -33,20 +40,39 @@ type procAbort struct{}
 // The body runs until it returns; the kernel regains control whenever the
 // body blocks on a Proc method.
 func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
-	p := &Proc{
+	if k.procFn == nil {
+		// One kernel-wide trampoline, bound once, replaces the per-proc
+		// dispatch closure and per-spawn start closure: the event arg
+		// selects the proc (idx<<1) and the action (low bit = first
+		// start). k.procs is append-only, so the index is stable.
+		k.procFn = func(a uint64) {
+			p := k.procs[a>>1]
+			if a&1 != 0 {
+				p.started = true
+				b := p.body
+				p.body = nil // release the closure once the goroutine owns it
+				go p.run(b)
+			}
+			p.dispatch()
+		}
+		k.procs = make([]*Proc, 0, procArenaBlock)
+	}
+	if len(k.procArena) == cap(k.procArena) {
+		k.procArena = make([]Proc, 0, procArenaBlock)
+	}
+	k.procArena = k.procArena[:len(k.procArena)+1]
+	p := &k.procArena[len(k.procArena)-1]
+	*p = Proc{
 		k:    k,
 		name: name,
 		sync: make(chan struct{}),
+		body: body,
+		idx:  uint64(len(k.procs)) << 1,
 	}
-	p.dispatchFn = func(uint64) { p.dispatch() }
-	p.cell.Init(k, p.dispatchFn)
+	p.cell.Init(k, k.procFn)
 	k.procs = append(k.procs, p)
 	k.live++
-	k.After(0, func() {
-		p.started = true
-		go p.run(body)
-		p.dispatch()
-	})
+	k.AfterFunc(0, k.procFn, p.idx|1)
 	return p
 }
 
@@ -116,7 +142,7 @@ func (p *Proc) Finished() bool { return p.finished }
 // Sleep(0) is a pure yield point: other events at the current tick run
 // before the process continues.
 func (p *Proc) Sleep(d uint64) {
-	p.k.AfterFunc(d, p.dispatchFn, 0)
+	p.k.AfterFunc(d, p.k.procFn, p.idx)
 	p.yield()
 }
 
@@ -126,7 +152,7 @@ func (p *Proc) Sleep(d uint64) {
 // parked on several signals (WaitAny) wakes exactly once and stale
 // wake-ups are ignored. Tokens replace the per-wait closure the seed
 // kernel allocated (waitPoint), making Wait/Fire allocation-free.
-func (p *Proc) armWait() uint64 { return p.cell.arm(0) }
+func (p *Proc) armWait() uint64 { return p.cell.arm(p.idx) }
 
 // Park parks the calling process until a kernel-side continuation hands
 // control back with Unpark. It is the blocking half of the

@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // This file implements the kernel's event queue: a two-level monomorphic
 // priority queue on (tick, seq) that is allocation-free in steady state.
 //
@@ -12,6 +14,19 @@ package sim
 // through an interface and never heap-allocates once the arrays have
 // grown to the workload's high-water mark (container/heap's any-typed
 // Push allocated on every call).
+//
+// Two structural choices keep the wheel cheap at scale:
+//
+//   - occ is a 64-bit occupancy bitmap, bit i set exactly when bucket i
+//     holds undispatched events. Finding the earliest pending tick is a
+//     rotate + trailing-zeros instead of a worst-case 64-bucket scan,
+//     which matters to the parallel coordinator (it probes NextTick on
+//     every domain every quantum) as much as to the run loops.
+//   - Fresh buckets draw their initial backing array from a slab carved
+//     in bucketChunk-event pieces, so a newly built kernel costs a
+//     couple of slab allocations instead of one append-growth chain per
+//     touched bucket. With 17 domain kernels per parallel run, bucket
+//     growth was the single largest allocation site in the profile.
 //
 // Ordering contract (identical to the seed container/heap queue): events
 // dispatch in strictly nondecreasing tick order, same-tick events in
@@ -32,9 +47,26 @@ const (
 	// wheelSize is the calendar window in ticks. 64 covers every
 	// short-delay scheduling pattern on the hot path (After(0..63):
 	// mapper ticks, send-issue spacing, bus serialization+hop, retry
-	// backoffs) while keeping the empty-bucket scan bounded and cheap.
+	// backoffs) and matches the occupancy bitmap word exactly.
 	wheelSize = 1 << wheelBits
 	wheelMask = wheelSize - 1
+
+	// bucketChunk is the initial capacity handed to a freshly touched
+	// bucket; buckets that outgrow it fall back to append doubling and
+	// keep the larger array across window wraps. slabBuckets batches the
+	// slab allocation so an idle kernel pays nothing and a busy one pays
+	// ~one allocation total: sized to the whole wheel, a kernel that
+	// eventually touches every bucket (any long-running model does) takes
+	// a single ~100KB slab instead of a per-bucket growth chain — with 17
+	// domain kernels per parallel fabric, slab grabs were the largest
+	// remaining allocation site.
+	bucketChunk = 32
+	slabBuckets = wheelSize
+
+	// farInitCap presizes the far heap's backing array on first use,
+	// collapsing the append-growth chain for long-horizon schedules
+	// (timeouts, arrival processes) into one allocation.
+	farInitCap = 64
 )
 
 // event is one scheduled callback. Exactly one of fn and afn is set:
@@ -68,19 +100,39 @@ type bucket struct {
 // anchors the wheel window.
 type eventQueue struct {
 	now      uint64
+	occ      uint64 // bit i set iff wheel[i] has undispatched events
+	wheelLen int    // events currently in the wheel
 	wheel    [wheelSize]bucket
-	wheelLen int     // events currently in the wheel
 	far      []event // binary min-heap on (tick, seq); ticks >= now+wheelSize
+	slab     []event // backing store carved into fresh bucket arrays
 }
 
 // len reports the number of pending events.
 func (q *eventQueue) len() int { return q.wheelLen + len(q.far) }
 
+// grab carves a fresh bucketChunk-capacity array out of the slab,
+// replenishing the slab when exhausted. The three-index slice expression
+// caps the chunk so append growth beyond bucketChunk reallocates instead
+// of clobbering the neighbouring chunk.
+func (q *eventQueue) grab() []event {
+	n := len(q.slab)
+	if cap(q.slab)-n < bucketChunk {
+		q.slab = make([]event, 0, bucketChunk*slabBuckets)
+		n = 0
+	}
+	q.slab = q.slab[:n+bucketChunk]
+	return q.slab[n:n:n+bucketChunk]
+}
+
 // push inserts an event. e.tick must be >= q.now (the kernel checks).
 func (q *eventQueue) push(e event) {
 	if e.tick-q.now < wheelSize {
 		b := &q.wheel[e.tick&wheelMask]
+		if cap(b.ev) == 0 {
+			b.ev = q.grab()
+		}
 		b.ev = append(b.ev, e)
+		q.occ |= 1 << (e.tick & wheelMask)
 		q.wheelLen++
 		return
 	}
@@ -97,21 +149,27 @@ func (q *eventQueue) advanceTo(t uint64) {
 	for len(q.far) > 0 && q.far[0].tick-t < wheelSize {
 		e := q.farPop()
 		b := &q.wheel[e.tick&wheelMask]
+		if cap(b.ev) == 0 {
+			b.ev = q.grab()
+		}
 		b.ev = append(b.ev, e)
+		q.occ |= 1 << (e.tick & wheelMask)
 		q.wheelLen++
 	}
 }
 
+// wheelNext returns the offset in [0, wheelSize) of the earliest occupied
+// bucket relative to now. Rotating the occupancy word by now&wheelMask
+// aligns bit d with bucket (now+d)&wheelMask, so a trailing-zeros count
+// replaces the bucket scan. Callers must ensure occ != 0.
+func (q *eventQueue) wheelNext() uint64 {
+	return uint64(bits.TrailingZeros64(bits.RotateLeft64(q.occ, -int(q.now&wheelMask))))
+}
+
 // nextTick reports the earliest pending tick without popping.
 func (q *eventQueue) nextTick() (uint64, bool) {
-	if q.wheelLen > 0 {
-		for d := uint64(0); d < wheelSize; d++ {
-			b := &q.wheel[(q.now+d)&wheelMask]
-			if b.head < len(b.ev) {
-				return q.now + d, true
-			}
-		}
-		panic("sim: wheelLen > 0 but no non-empty bucket")
+	if q.occ != 0 {
+		return q.now + q.wheelNext(), true
 	}
 	if len(q.far) > 0 {
 		return q.far[0].tick, true
@@ -126,7 +184,7 @@ func (q *eventQueue) nextTick() (uint64, bool) {
 // re-scanning the wheel per event; callbacks that schedule for the same
 // tick append to the same bucket and are picked up by the drain loop.
 func (q *eventQueue) startTick(limit uint64) *bucket {
-	if q.wheelLen == 0 {
+	if q.occ == 0 {
 		if len(q.far) == 0 || q.far[0].tick > limit {
 			return nil
 		}
@@ -134,27 +192,22 @@ func (q *eventQueue) startTick(limit uint64) *bucket {
 		// the wheel with at least that event.
 		q.advanceTo(q.far[0].tick)
 	}
-	for d := uint64(0); d < wheelSize; d++ {
-		b := &q.wheel[(q.now+d)&wheelMask]
-		if b.head < len(b.ev) {
-			if q.now+d > limit {
-				return nil
-			}
-			if d != 0 {
-				// The window slides forward before any event runs, so
-				// callbacks at the new now see a fully migrated wheel.
-				q.advanceTo(q.now + d)
-			}
-			return b
-		}
+	d := q.wheelNext()
+	if q.now+d > limit {
+		return nil
 	}
-	panic("sim: wheelLen > 0 but no non-empty bucket")
+	if d != 0 {
+		// The window slides forward before any event runs, so
+		// callbacks at the new now see a fully migrated wheel.
+		q.advanceTo(q.now + d)
+	}
+	return &q.wheel[q.now&wheelMask]
 }
 
 // pop removes and returns the earliest event, advancing the window to its
 // tick. The second return is false when the queue is empty.
 func (q *eventQueue) pop() (event, bool) {
-	if q.wheelLen == 0 {
+	if q.occ == 0 {
 		if len(q.far) == 0 {
 			return event{}, false
 		}
@@ -162,26 +215,23 @@ func (q *eventQueue) pop() (event, bool) {
 		// the wheel with at least that event.
 		q.advanceTo(q.far[0].tick)
 	}
-	for d := uint64(0); d < wheelSize; d++ {
-		b := &q.wheel[(q.now+d)&wheelMask]
-		if b.head < len(b.ev) {
-			if d != 0 {
-				// The window slides forward before the event runs, so
-				// callbacks at the new now see a fully migrated wheel.
-				q.advanceTo(q.now + d)
-			}
-			e := b.ev[b.head]
-			b.ev[b.head] = event{} // release closure references for GC
-			b.head++
-			if b.head == len(b.ev) {
-				b.ev = b.ev[:0]
-				b.head = 0
-			}
-			q.wheelLen--
-			return e, true
-		}
+	d := q.wheelNext()
+	if d != 0 {
+		// The window slides forward before the event runs, so
+		// callbacks at the new now see a fully migrated wheel.
+		q.advanceTo(q.now + d)
 	}
-	panic("sim: wheelLen > 0 but no non-empty bucket")
+	b := &q.wheel[q.now&wheelMask]
+	e := b.ev[b.head]
+	b.ev[b.head] = event{} // release closure references for GC
+	b.head++
+	if b.head == len(b.ev) {
+		b.ev = b.ev[:0]
+		b.head = 0
+		q.occ &^= 1 << (q.now & wheelMask)
+	}
+	q.wheelLen--
+	return e, true
 }
 
 // reset drops every pending event and releases the backing arrays.
@@ -189,8 +239,10 @@ func (q *eventQueue) reset() {
 	for i := range q.wheel {
 		q.wheel[i] = bucket{}
 	}
+	q.occ = 0
 	q.wheelLen = 0
 	q.far = nil
+	q.slab = nil
 }
 
 // farPush / farPop implement a monomorphic binary min-heap on
@@ -198,6 +250,9 @@ func (q *eventQueue) reset() {
 // the seed kernel, minus the interface boxing.
 
 func (q *eventQueue) farPush(e event) {
+	if cap(q.far) == 0 {
+		q.far = make([]event, 0, farInitCap)
+	}
 	h := append(q.far, e)
 	i := len(h) - 1
 	for i > 0 {

@@ -1,0 +1,124 @@
+package sim
+
+import "sync/atomic"
+
+// pairRing is a fixed-capacity single-producer single-consumer ring of
+// cross-domain messages for one (source, destination) domain pair — the
+// lock-free replacement for the per-source outbox + barrier merge of the
+// first parallel kernel. The producer is the lane executing the source
+// domain during a quantum; the consumer is the lane executing the
+// destination domain, which drains the ring at its quantum start; the
+// coordinator additionally scans (without consuming) between quanta,
+// when every lane is parked.
+//
+// The layout follows the cache-optimized SPSC queue playbook (Torquati;
+// PAPERS.md): head and tail live on separate cache lines so the producer
+// and consumer cores never false-share an index, and the drain copies
+// whole runs with copy() — at most two per wraparound — instead of
+// popping one message at a time. The buffer itself is allocated lazily on
+// first push, so the quadratic (src, dst) pair matrix costs memory only
+// for pairs that actually talk.
+//
+// Memory ordering: push publishes the slot write with a release store of
+// tail; drain acquires tail before reading slots and publishes slot reuse
+// with a release store of head. Go's sync/atomic provides exactly those
+// edges, so the ring is race-detector-clean with no locks anywhere.
+
+const (
+	// ringCap bounds one pair's in-flight messages. 256 covers every
+	// steady-state workload in the repo (per-quantum cross traffic is a
+	// handful of messages); incast storms that exceed it overflow into
+	// the writer-owned spill slice, preserving order, so the bound is a
+	// performance knob, not a correctness limit.
+	ringCap  = 256
+	ringMask = ringCap - 1
+)
+
+type pairRing struct {
+	head atomic.Uint64 // next slot to read; written by the consumer
+	_    [56]byte
+	tail atomic.Uint64 // next slot to write; written by the producer
+	_    [56]byte
+	buf  []crossMsg // lazily allocated; published by the first tail store
+}
+
+// push appends m and reports whether it fit; the producer falls back to
+// its spill slice on false. Producer-only.
+func (r *pairRing) push(m crossMsg) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == ringCap {
+		return false
+	}
+	if r.buf == nil {
+		r.buf = make([]crossMsg, ringCap)
+	}
+	r.buf[t&ringMask] = m
+	r.tail.Store(t + 1)
+	return true
+}
+
+// drain appends every buffered message to dst in FIFO order and returns
+// the extended slice. Consumer-only. The copy is batched: one copy() per
+// contiguous run, two when the occupied region wraps.
+func (r *pairRing) drain(dst []crossMsg) []crossMsg {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if h == t {
+		return dst
+	}
+	for h != t {
+		i := h & ringMask
+		n := uint64(ringCap - i)
+		if n > t-h {
+			n = t - h
+		}
+		dst = append(dst, r.buf[i:i+n]...)
+		h += n
+	}
+	// Slots are not zeroed: cross-message fns are long-lived bound
+	// closures (hub exec, stash deliver), so a stale slot pins nothing
+	// that the model does not already keep alive.
+	r.head.Store(h)
+	return dst
+}
+
+// drainN appends exactly n buffered messages to dst in FIFO order and
+// returns the extended slice. Consumer-only. The count comes from the
+// coordinator's between-quanta snapshot: bounding the drain there keeps
+// the set of messages a quantum consumes independent of how far a
+// concurrent producer has advanced within it, which is what makes ring
+// occupancy — and everything downstream of it — deterministic across
+// lane counts. Copies are batched as in drain.
+func (r *pairRing) drainN(dst []crossMsg, n uint64) []crossMsg {
+	h := r.head.Load()
+	t := h + n
+	for h != t {
+		i := h & ringMask
+		c := uint64(ringCap - i)
+		if c > t-h {
+			c = t - h
+		}
+		dst = append(dst, r.buf[i:i+c]...)
+		h += c
+	}
+	r.head.Store(h)
+	return dst
+}
+
+// scan reports the buffered message count and the minimum delivery tick
+// among them (^uint64(0) when empty) without consuming. Coordinator-only,
+// between quanta — the producer and consumer are parked, so the snapshot
+// is exact, but the loads keep the race detector's happens-before edges
+// intact.
+func (r *pairRing) scan() (n uint64, min uint64) {
+	t := r.tail.Load()
+	h := r.head.Load()
+	n = t - h
+	min = ^uint64(0)
+	for ; h != t; h++ {
+		if tk := r.buf[h&ringMask].tick; tk < min {
+			min = tk
+		}
+	}
+	return n, min
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// mkMsg builds a distinguishable test message; fn is never called by the
+// ring itself, so a shared no-op keeps the focus on payload integrity.
+func mkMsg(i uint64) crossMsg {
+	return crossMsg{tick: 1000 + i, seq: i, src: 0, dst: 1,
+		fn: func(a0, a1, a2, a3 uint64) {}, a0: i, a1: ^i, a2: i * 3, a3: 42}
+}
+
+func checkRun(t *testing.T, got []crossMsg, start, n uint64) {
+	t.Helper()
+	if uint64(len(got)) != n {
+		t.Fatalf("drained %d messages, want %d", len(got), n)
+	}
+	for j, m := range got {
+		i := start + uint64(j)
+		if m.seq != i || m.a0 != i || m.a1 != ^i || m.tick != 1000+i {
+			t.Fatalf("slot %d: got seq %d a0 %d tick %d, want seq %d (FIFO order broken)",
+				j, m.seq, m.a0, m.tick, i)
+		}
+	}
+}
+
+// TestPairRingWraparound pushes and drains in randomly sized batches for
+// many times the ring capacity, so the occupied region wraps the buffer
+// edge repeatedly; every drain must return exactly the pushed messages in
+// FIFO order.
+func TestPairRingWraparound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var r pairRing
+	var next, drained uint64
+	buf := make([]crossMsg, 0, ringCap)
+	for round := 0; round < 200; round++ {
+		n := uint64(1 + rng.Intn(ringCap))
+		for i := uint64(0); i < n; i++ {
+			if !r.push(mkMsg(next)) {
+				break
+			}
+			next++
+		}
+		if rng.Intn(3) == 0 {
+			continue // let occupancy build across rounds
+		}
+		buf = r.drain(buf[:0])
+		checkRun(t, buf, drained, next-drained)
+		drained = next
+	}
+	buf = r.drain(buf[:0])
+	checkRun(t, buf, drained, next-drained)
+}
+
+// TestPairRingBackpressure fills the ring to capacity, proves push
+// reports overflow without corrupting contents, and proves the ring
+// accepts again after a partial drain.
+func TestPairRingBackpressure(t *testing.T) {
+	var r pairRing
+	for i := uint64(0); i < ringCap; i++ {
+		if !r.push(mkMsg(i)) {
+			t.Fatalf("push %d rejected below capacity %d", i, ringCap)
+		}
+	}
+	if r.push(mkMsg(ringCap)) {
+		t.Fatal("push into a full ring succeeded")
+	}
+	if n, min := r.scan(); n != ringCap || min != 1000 {
+		t.Fatalf("scan of full ring = (%d, %d), want (%d, 1000)", n, min, ringCap)
+	}
+	// Drain a prefix; the ring must accept exactly that many again.
+	buf := r.drainN(nil, 10)
+	checkRun(t, buf, 0, 10)
+	for i := uint64(0); i < 10; i++ {
+		if !r.push(mkMsg(ringCap + i)) {
+			t.Fatalf("push %d rejected after freeing %d slots", i, 10)
+		}
+	}
+	if r.push(mkMsg(2 * ringCap)) {
+		t.Fatal("push into a refilled ring succeeded")
+	}
+	buf = r.drain(buf[:0])
+	checkRun(t, buf, 10, ringCap)
+}
+
+// TestPairRingDrainN proves the bounded drain takes exactly n messages
+// and leaves the rest buffered in order — the property the coordinator's
+// between-quanta snapshot relies on for lane-count-invariant occupancy.
+func TestPairRingDrainN(t *testing.T) {
+	var r pairRing
+	for i := uint64(0); i < 100; i++ {
+		r.push(mkMsg(i))
+	}
+	buf := r.drainN(nil, 0)
+	if len(buf) != 0 {
+		t.Fatalf("drainN(0) returned %d messages", len(buf))
+	}
+	buf = r.drainN(buf, 37)
+	checkRun(t, buf, 0, 37)
+	if n, _ := r.scan(); n != 63 {
+		t.Fatalf("ring holds %d after drainN(37) of 100, want 63", n)
+	}
+	buf = r.drainN(buf[:0], 63)
+	checkRun(t, buf, 37, 63)
+	if n, _ := r.scan(); n != 0 {
+		t.Fatalf("ring holds %d after full drain, want 0", n)
+	}
+}
+
+// TestPairRingConcurrentSPSC runs a real producer goroutine against a
+// real consumer goroutine — the quantum-time topology — with backoff on
+// full/empty. Under -race this proves the release/acquire pairing on
+// head and tail publishes every slot write, and the FIFO check proves no
+// message is lost, duplicated, or torn.
+func TestPairRingConcurrentSPSC(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const total = 50000
+	var r pairRing
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < total; {
+			if r.push(mkMsg(i)) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var got uint64
+	buf := make([]crossMsg, 0, ringCap)
+	for got < total {
+		buf = r.drain(buf[:0])
+		if len(buf) == 0 {
+			runtime.Gosched()
+			continue
+		}
+		checkRun(t, buf, got, uint64(len(buf)))
+		got += uint64(len(buf))
+	}
+	wg.Wait()
+	if n, _ := r.scan(); n != 0 {
+		t.Fatalf("ring holds %d after consuming all %d", n, total)
+	}
+}
+
+// TestLaneGateNoLostWake hammers the gate's park/wake race: a waiter
+// parks between generations while the waker publishes them as fast as it
+// can. A lost wake deadlocks (caught by the test timeout); a stale token
+// must never deliver an old generation.
+func TestLaneGateNoLostWake(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const gens = 20000
+	var g laneGate
+	g.init()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		last := uint64(0)
+		for last < gens {
+			v := g.wait(last, false) // no spin: maximize real parking
+			if v <= last {
+				t.Errorf("gate went backwards: %d after %d", v, last)
+				return
+			}
+			last = v
+		}
+	}()
+	for v := uint64(1); v <= gens; v++ {
+		g.wake(v)
+		if v&1023 == 0 {
+			runtime.Gosched() // let the waiter fall behind and repark
+		}
+	}
+	<-done
+}
+
+// TestJoinTreeQuantumBarrier drives the full gate + tree protocol with
+// worker goroutines for many quanta, randomly skipping lanes — exactly
+// the coordinator loop's topology. Each participating lane increments a
+// plain per-lane counter before arriving; the coordinator reads and
+// verifies all counters after await. Under -race this proves the
+// publication chain (gate wake -> lane work -> arrive -> await) carries
+// the happens-before edges the kernel's plain shared state relies on.
+func TestJoinTreeQuantumBarrier(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const lanes, quanta = 6, 2000
+	rng := rand.New(rand.NewSource(11))
+	gates := make([]laneGate, lanes)
+	for i := range gates {
+		gates[i].init()
+	}
+	tree := newJoinTree(lanes)
+	work := make([]uint64, lanes) // plain: protocol must order access
+	stop := make(chan struct{})
+	for l := 0; l < lanes; l++ {
+		l := l
+		go func() {
+			last := uint64(0)
+			for {
+				gen := gates[l].wait(last, true)
+				last = gen
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				work[l]++
+				tree.arrive(l)
+			}
+		}()
+	}
+	counts := make([]int64, (lanes+joinRadix-1)/joinRadix)
+	want := make([]uint64, lanes)
+	part := make([]bool, lanes)
+	for q := uint64(1); q <= quanta; q++ {
+		any := false
+		for i := range counts {
+			counts[i] = 0
+		}
+		for l := 0; l < lanes; l++ {
+			part[l] = rng.Intn(3) != 0
+			if part[l] {
+				counts[l/joinRadix]++
+				want[l]++
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		tree.reset(counts, q)
+		for l := 0; l < lanes; l++ {
+			if part[l] {
+				gates[l].wake(q)
+			}
+		}
+		tree.await(q, true)
+		for l := 0; l < lanes; l++ {
+			if work[l] != want[l] {
+				t.Fatalf("quantum %d: lane %d did %d quanta of work, want %d", q, l, work[l], want[l])
+			}
+		}
+	}
+	close(stop)
+	for l := 0; l < lanes; l++ {
+		gates[l].wake(^uint64(0))
+	}
+}

@@ -6,11 +6,12 @@ import (
 	"testing"
 )
 
-// TestInboxShrinksAfterStorm is the regression test for the inbox
-// high-water-mark leak: one incast storm used to grow a destination's
-// slot pool to the burst size forever. After the storm drains and the
-// run goes idle, the pool must have been trimmed back at a quantum
-// barrier.
+// TestInboxShrinksAfterStorm is the regression test for the cross-
+// message high-water-mark leak: one incast storm used to grow the
+// destination-side staging (formerly the inbox slot pool; now the pend,
+// inj, and spill slices behind the pair rings) to the burst size
+// forever. After the storm drains and the run goes idle, every staging
+// slice must have been trimmed back at a quantum boundary.
 func TestInboxShrinksAfterStorm(t *testing.T) {
 	const (
 		la    = 10
@@ -45,9 +46,12 @@ func TestInboxShrinksAfterStorm(t *testing.T) {
 	if got != storm+slow {
 		t.Fatalf("delivered %d, want %d", got, storm+slow)
 	}
-	if n := pk.InboxSlots(); n > inboxShrinkFloor {
-		t.Fatalf("inbox pools hold %d slots after burst-then-idle run; want <= %d (high-water leak)",
-			n, inboxShrinkFloor)
+	if sp := pk.Spilled(); sp == 0 {
+		t.Fatalf("storm of %d messages never overflowed the %d-slot pair ring; storm too small to test the spill path", storm, ringCap)
+	}
+	if n := pk.CrossCapacity(); n > 4*crossShrinkFloor {
+		t.Fatalf("cross staging holds capacity %d after burst-then-idle run; want <= %d (high-water leak)",
+			n, 4*crossShrinkFloor)
 	}
 }
 

@@ -82,11 +82,35 @@ type Lib struct {
 
 	specLines int
 	queues    []*Queue
+
+	// Block arenas behind the Queue/Producer/Consumer pointers this
+	// library hands out: endpoint setup is the dominant allocation phase
+	// of a run (a multi-domain system opens ~100 endpoints across 17
+	// kernels), so batching the struct storage turns one heap object per
+	// endpoint into one per block. Queues are created single-threaded at
+	// setup; endpoint arenas are guarded by mu like the registration they
+	// serve. Blocks are replaced, never grown in place, so earlier
+	// pointers stay valid.
+	queueArena []Queue
+	prodArena  []Producer
+	consArena  []Consumer
 }
+
+// arenaBlock sizes the Lib arenas (queues/producers/consumers each).
+const arenaBlock = 16
 
 // New returns a library instance over the given device.
 func New(k *sim.Kernel, as *mem.AddressSpace, dev *vl.Device, i isa.Ops) *Lib {
-	return &Lib{k: k, as: as, dev: dev, isa: i}
+	l := new(Lib)
+	l.Init(k, as, dev, i)
+	return l
+}
+
+// Init initializes l in place (batch construction for the multi-domain
+// fabric's per-domain libraries; New wraps it). Must not be called on a
+// Lib that is already in use — it resets all state, including the mutex.
+func (l *Lib) Init(k *sim.Kernel, as *mem.AddressSpace, dev *vl.Device, i isa.Ops) {
+	*l = Lib{k: k, as: as, dev: dev, isa: i}
 }
 
 func (l *Lib) overhead() uint64 {
@@ -143,7 +167,12 @@ func (l *Lib) NewQueue(name string) *Queue {
 	if err != nil {
 		panic(fmt.Sprintf("vlq: %v", err))
 	}
-	q := &Queue{lib: l, sqi: sqi, name: name}
+	if len(l.queueArena) == cap(l.queueArena) {
+		l.queueArena = make([]Queue, 0, arenaBlock)
+	}
+	l.queueArena = l.queueArena[:len(l.queueArena)+1]
+	q := &l.queueArena[len(l.queueArena)-1]
+	*q = Queue{lib: l, sqi: sqi, name: name}
 	l.queues = append(l.queues, q)
 	return q
 }
@@ -297,7 +326,12 @@ func (q *Queue) NewProducer(window int) *Producer {
 	if lib.Binder != nil && len(q.producers) > 0 {
 		panic(fmt.Sprintf("vlq: second producer on %s — domain-partitioned systems support 1:1 queues only", q.name))
 	}
-	p := &Producer{
+	if len(lib.prodArena) == cap(lib.prodArena) {
+		lib.prodArena = make([]Producer, 0, arenaBlock)
+	}
+	lib.prodArena = lib.prodArena[:len(lib.prodArena)+1]
+	p := &lib.prodArena[len(lib.prodArena)-1]
+	*p = Producer{
 		q:      q,
 		id:     len(q.producers),
 		window: window,
@@ -517,7 +551,12 @@ func (q *Queue) NewConsumer(p *sim.Proc, nlines int, spec bool) *Consumer {
 		home.mu.Unlock()
 		panic(fmt.Sprintf("vlq: second consumer on %s — domain-partitioned systems support 1:1 queues only", q.name))
 	}
-	c := &Consumer{
+	if len(home.consArena) == cap(home.consArena) {
+		home.consArena = make([]Consumer, 0, arenaBlock)
+	}
+	home.consArena = home.consArena[:len(home.consArena)+1]
+	c := &home.consArena[len(home.consArena)-1]
+	*c = Consumer{
 		q:     q,
 		lib:   lib,
 		id:    len(q.consumers),

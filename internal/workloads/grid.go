@@ -31,7 +31,7 @@ func gid(x, y int) int { return y*gridW + x }
 
 // neighbors returns the 4-neighbourhood of (x, y) inside the grid.
 func neighbors(x, y int) [][2]int {
-	var out [][2]int
+	out := make([][2]int, 0, 4)
 	if x > 0 {
 		out = append(out, [2]int{x - 1, y})
 	}

@@ -54,6 +54,13 @@ func newParallelSystem(cfg Config, hop uint64, ndev int) *System {
 
 	fab := &fabric{pk: pk, ncores: ncores, domOf: make(map[*sim.Kernel]int, ndom)}
 	s := &System{cfg: cfg, fab: fab}
+	// Per-domain fabric objects are carved from blocks: one allocation
+	// per kind instead of one per domain (17 domains at the default core
+	// count make per-object construction the dominant setup cost).
+	busArena := make([]noc.Bus, ndom)
+	spaceArena := make([]mem.AddressSpace, ndom)
+	fab.buses = make([]*noc.Bus, ndom)
+	fab.spaces = make([]*mem.AddressSpace, ndom)
 	for d := 0; d < ndom; d++ {
 		k := pk.Domain(d)
 		fab.domOf[k] = d
@@ -64,8 +71,10 @@ func newParallelSystem(cfg Config, hop uint64, ndev int) *System {
 		if d >= ncores {
 			ch = cfg.BusChannels
 		}
-		fab.buses = append(fab.buses, noc.NewWithOptions(k, hop, ch))
-		fab.spaces = append(fab.spaces, mem.NewAddressSpaceAt(k, mem.Addr(d+1)<<domainAddrShift))
+		busArena[d].Init(k, hop, ch)
+		fab.buses[d] = &busArena[d]
+		spaceArena[d].Init(k, mem.Addr(d+1)<<domainAddrShift)
+		fab.spaces[d] = &spaceArena[d]
 	}
 	// The single-system accessors point at the primary hub: the device,
 	// its bus slice, and its kernel are the closest parallel analogue of
@@ -76,6 +85,18 @@ func newParallelSystem(cfg Config, hop uint64, ndev int) *System {
 
 	for i := 0; i < ndev; i++ {
 		hubDom := ncores + i
+		// A hub domain carries the device tick loop plus the bus traffic
+		// of all cores, so weight it like ncores core domains: the lane
+		// packer then gives each hub its own lane before doubling up
+		// cores. Weights bias wall-clock balance only, never ordering.
+		pk.SetDomainWeight(hubDom, uint64(ncores))
+		// Every core exchanges messages with every hub (ISA requests down,
+		// stash/response traffic back); reserve those pair rings from the
+		// shared slab instead of growing them lazily mid-run.
+		for d := 0; d < ncores; d++ {
+			pk.Reserve(d, hubDom)
+			pk.Reserve(hubDom, d)
+		}
 		hubK := pk.Domain(hubDom)
 		dev := vl.New(hubK, fab.buses[hubDom], fab.spaces[hubDom], cfg.SRD)
 		if cfg.Algorithm != AlgBaseline {
@@ -101,11 +122,13 @@ func newParallelSystem(cfg Config, hop uint64, ndev int) *System {
 		// queue identity (SQI allocation happens at setup time, before
 		// any domain runs).
 		perDom := make([]*vlq.Lib, ncores)
+		riArena := make([]isa.RemoteISA, ncores)
+		libArena := make([]vlq.Lib, ncores)
 		for d := 0; d < ncores; d++ {
-			ri := isa.NewRemote(pk.Domain(d), fab.buses[d], hub, pk.Post, d)
-			l := vlq.New(pk.Domain(d), fab.spaces[d], dev, ri)
-			l.Inlined = !cfg.NoInline
-			perDom[d] = l
+			riArena[d].Init(pk.Domain(d), fab.buses[d], hub, pk.Post, d)
+			libArena[d].Init(pk.Domain(d), fab.spaces[d], dev, &riArena[d])
+			libArena[d].Inlined = !cfg.NoInline
+			perDom[d] = &libArena[d]
 		}
 		home := vlq.New(hubK, fab.spaces[hubDom], dev, isa.New(hubK, fab.buses[hubDom], dev))
 		home.Inlined = !cfg.NoInline
@@ -128,23 +151,22 @@ func installStashRouter(fab *fabric, hub *vl.Hub) {
 	dev := hub.Device()
 	hubDom := hub.Domain()
 	respFn := hub.StashResponseFn()
-	deliver := make([]func(a0, a1, a2, a3 uint64), fab.ncores)
-	for d := range deliver {
-		d := d
-		deliver[d] = func(a0, a1, a2, a3 uint64) {
-			line := fab.spaces[d].Lookup(mem.Addr(a1))
-			var hitBit uint64
-			if line.TryFill(mem.Message{Src: int(a2 >> 48), Seq: a2 & (1<<48 - 1), Payload: a3}) {
-				hitBit = 1
-			}
-			arrival := fab.buses[d].Occupy(noc.PktResp)
-			fab.pk.Post(d, hubDom, arrival, respFn, a0<<1|hitBit, 0, 0, 0)
+	// One delivery closure serves every core domain: the stash target
+	// address already identifies its owning domain, and the closure runs
+	// in exactly that domain (it is the Post destination).
+	deliver := func(a0, a1, a2, a3 uint64) {
+		d := domainOfAddr(mem.Addr(a1))
+		line := fab.spaces[d].Lookup(mem.Addr(a1))
+		var hitBit uint64
+		if line.TryFill(mem.Message{Src: int(a2 >> 48), Seq: a2 & (1<<48 - 1), Payload: a3}) {
+			hitBit = 1
 		}
+		arrival := fab.buses[d].Occupy(noc.PktResp)
+		fab.pk.Post(d, hubDom, arrival, respFn, a0<<1|hitBit, 0, 0, 0)
 	}
 	dev.SetStashRouter(func(idx uint64, target mem.Addr, msg mem.Message) {
 		arrival := dev.Bus().Occupy(noc.PktStash)
-		dst := domainOfAddr(target)
-		fab.pk.Post(hubDom, dst, arrival, deliver[dst],
+		fab.pk.Post(hubDom, domainOfAddr(target), arrival, deliver,
 			idx, uint64(target), uint64(uint16(msg.Src))<<48|msg.Seq, msg.Payload)
 	})
 }
@@ -164,6 +186,7 @@ func (s *System) runParallel() Result {
 	r := Result{
 		Algorithm: s.cfg.Algorithm,
 		Ticks:     pk.LastEventTick(),
+		Parallel:  pk.Stats(),
 	}
 	var busy, window uint64
 	for _, b := range s.fab.buses {

@@ -482,6 +482,12 @@ type Result struct {
 	ConsumerLines             int
 	AvgEmptyTicks             float64
 	AvgNonEmptyTicks          float64
+
+	// Parallel holds the multi-domain kernel's telemetry (zero on a
+	// sequential run). Every counter is deterministic — a function of the
+	// model partitioning, never of the worker-lane count — so Result
+	// equality across Domains settings still holds.
+	Parallel sim.ParallelStats
 }
 
 // FailureRate is the Figure 10a metric: failed pushes out of all pushes.
