@@ -21,8 +21,8 @@ GO ?= go
 # GATE_PCT is the SpecRun ns/op tolerance (spamer-benchjson -gate-pct):
 # wide by default because wall time on shared runners jitters; the
 # allocs/op checks are the gate's primary teeth.
-BENCH_JSON ?= BENCH_9.json
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_JSON ?= BENCH_10.json
+BENCH_BASELINE ?= BENCH_9.json
 # MillionMessage pins b.N to the delivered message count; the dedicated
 # pass below records the true million-message run in $(BENCH_JSON)
 # (bench-ci uses a shorter pass — allocs/op is exact at any count).
@@ -69,6 +69,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadSpecs -fuzztime=$(FUZZTIME) ./internal/experiments
 	$(GO) test -run=NONE -fuzz=FuzzSpamerVsVL -fuzztime=$(FUZZTIME) ./internal/oracle
 	$(GO) test -run=NONE -fuzz=FuzzDifferentialKernels -fuzztime=$(FUZZTIME) ./internal/oracle
+	$(GO) test -run=NONE -fuzz=FuzzDAGSpec -fuzztime=$(FUZZTIME) ./internal/workloads/dag
 
 # Full benchmark pass: every table/figure as a testing.B target. The
 # stream also feeds spamer-benchjson, which records name -> ns/op and

@@ -30,6 +30,15 @@
 // Open-loop chains are parallel-safe (domains > 0 allowed); arrival
 // timelines are deterministic in (seed, endpoint).
 //
+// A shape may instead carry a workload DAG: shape{dag: {...}} with
+// named stages, replica counts, compute distributions, edge policies,
+// and optional recorded-trace replay (docs/WORKLOADS.md). Stage
+// replay_file references are resolved relative to the spec file's
+// directory (the working directory for stdin specs) before anything
+// runs, so the content hash always covers the resolved trace. After a
+// batch completes, a per-scenario SPAMeR-vs-VL speedup table is
+// printed to stderr.
+//
 // -domains N overrides the domains field of every spec in the batch
 // (parallel-safe benchmarks only; the spec validator rejects the rest).
 package main
@@ -40,10 +49,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"spamer/internal/experiments"
 	"spamer/internal/harness"
 	"spamer/internal/profiling"
+	"spamer/internal/report"
 )
 
 func main() {
@@ -67,6 +78,14 @@ func main() {
 	}
 	specs, err := experiments.ReadSpecs(r)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	traceDir := "."
+	if *specPath != "-" {
+		traceDir = filepath.Dir(*specPath)
+	}
+	if err := experiments.ResolveTraceFiles(specs, traceDir); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -105,6 +124,7 @@ func main() {
 				o.Benchmark, o.Algorithm, p.Quanta, p.WindowsSkipped, perQ, p.CrossMessages, p.UndeliveredHW)
 		}
 	}
+	printSpeedups(os.Stderr, all)
 	if err := experiments.WriteOutcomes(os.Stdout, all); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -112,4 +132,40 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// printSpeedups renders the per-scenario SPAMeR-vs-VL speedup table:
+// one row per benchmark/scenario (first-seen order), one column per
+// algorithm, cells from each outcome's baseline-normalized speedup.
+// Skipped when no outcome carries a speedup (no VL baseline ran).
+func printSpeedups(w io.Writer, outs []experiments.Outcome) {
+	var scenarios, algs []string
+	si := map[string]int{}
+	ai := map[string]int{}
+	for _, o := range outs {
+		if _, ok := si[o.Benchmark]; !ok {
+			si[o.Benchmark] = len(scenarios)
+			scenarios = append(scenarios, o.Benchmark)
+		}
+		if _, ok := ai[o.Algorithm]; !ok {
+			ai[o.Algorithm] = len(algs)
+			algs = append(algs, o.Algorithm)
+		}
+	}
+	cells := make([][]float64, len(scenarios))
+	for i := range cells {
+		cells[i] = make([]float64, len(algs))
+	}
+	any := false
+	for _, o := range outs {
+		if o.SpeedupOverVL > 0 {
+			cells[si[o.Benchmark]][ai[o.Algorithm]] = o.SpeedupOverVL
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintln(w)
+	report.SpeedupTable(w, "speedup over vl", scenarios, algs, cells)
 }

@@ -80,7 +80,7 @@ func (s Spec) Canonical() Spec {
 		c.Domains = 1
 	}
 	if c.Fault != nil {
-		if c.Fault.DropStash == 0 {
+		if !c.Fault.armed() {
 			c.Fault = nil
 		} else {
 			f := *c.Fault

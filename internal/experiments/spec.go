@@ -48,6 +48,15 @@ type FaultSpec struct {
 	// DropStash makes the routing device lose its n-th stash delivery
 	// (1-based): the device acknowledges a hit without filling the line.
 	DropStash uint64 `json:"drop_stash,omitempty"`
+	// CorruptStash flips the payload bits of the n-th stash delivery
+	// (1-based) while leaving its metadata intact: the run completes,
+	// but the delivered content is wrong.
+	CorruptStash uint64 `json:"corrupt_stash,omitempty"`
+}
+
+// armed reports whether any fault is actually injected.
+func (f *FaultSpec) armed() bool {
+	return f != nil && (f.DropStash > 0 || f.CorruptStash > 0)
 }
 
 // TunedSpec is the JSON form of config.TunedParams.
@@ -107,6 +116,19 @@ func (s *Spec) Validate() error {
 		if err := s.Shape.Validate(); err != nil {
 			return err
 		}
+		if d := s.Shape.DAG; d != nil {
+			// The routing device's deadlock-freedom argument reserves
+			// one prodBuf slot per queue, so the device tables must be
+			// at least as large as the DAG's queue footprint.
+			entries := s.SRDEntries
+			if entries == 0 {
+				entries = config.SRDEntries
+			}
+			if q := d.Queues(); q > entries {
+				return fmt.Errorf("experiments: dag %q needs %d queues; srd_entries must be at least %d (have %d)",
+					d.DisplayName(), q, q, entries)
+			}
+		}
 	} else if s.Benchmark == "" {
 		return fmt.Errorf("experiments: spec missing benchmark")
 	}
@@ -129,7 +151,7 @@ func (s *Spec) Validate() error {
 		if !w.ParallelSafe {
 			return fmt.Errorf("experiments: benchmark %q is not parallel-safe (domains must be 0)", w.Name)
 		}
-		if s.Fault != nil && s.Fault.DropStash > 0 {
+		if s.Fault.armed() {
 			return fmt.Errorf("experiments: fault injection requires the sequential kernel (domains must be 0)")
 		}
 	}
@@ -178,6 +200,7 @@ func (s *Spec) systemConfig(alg string) spamer.Config {
 	}
 	if s.Fault != nil {
 		cfg.FaultDropStash = s.Fault.DropStash
+		cfg.FaultCorruptStash = s.Fault.CorruptStash
 	}
 	if s.SRDEntries > 0 {
 		cfg.SRD = vl.Config{ProdEntries: s.SRDEntries, ConsEntries: s.SRDEntries, LinkEntries: maxInt(s.SRDEntries, 64)}

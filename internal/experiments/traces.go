@@ -1,0 +1,22 @@
+package experiments
+
+// ResolveTraceFiles loads every DAG stage's external replay trace
+// (Stage.ReplayFile) into its inline Replay events, resolving relative
+// paths against dir — typically the directory of the spec file that
+// named them. Specs without DAG shapes are untouched. Resolution must
+// happen before Validate/Canonical: validation rejects unresolved
+// file references, and the content hash is always over resolved
+// events, so a cache hit can never alias two different traces behind
+// one filename.
+func ResolveTraceFiles(specs []Spec, dir string) error {
+	for i := range specs {
+		sh := specs[i].Shape
+		if sh == nil || sh.DAG == nil {
+			continue
+		}
+		if err := sh.DAG.LoadTraces(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}

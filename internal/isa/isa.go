@@ -13,6 +13,7 @@
 package isa
 
 import (
+	"fmt"
 	"spamer/internal/config"
 	"spamer/internal/mem"
 	"spamer/internal/noc"
@@ -26,7 +27,14 @@ const RetryBackoffCycles = 12
 // MaxRetries bounds replay attempts before the operation panics; a
 // healthy configuration never gets near it, so hitting the bound almost
 // always means a deadlocked workload.
-const MaxRetries = 1 << 20
+const MaxRetries = 1 << retryBits
+
+// retryBits is the width of the attempt count in a packed sender event
+// argument (sender id in the high bits, attempt below).
+const retryBits = 20
+
+// retryMask extracts the attempt count from a packed event argument.
+const retryMask = MaxRetries - 1
 
 // Port is one endpoint's ordered device-write channel: the store-buffer
 // abstraction behind Sender (same-domain) and RemoteSender (cross-domain).
@@ -73,6 +81,16 @@ type ISA struct {
 	bus *noc.Bus
 	dev *vl.Device
 
+	// Senders live in block-allocated arena storage and share two
+	// ISA-level dispatch closures; the sender id and attempt count ride
+	// packed in the event argument (id<<retryBits | attempt), so
+	// opening an endpoint costs no per-sender closure allocations and
+	// a block of endpoints costs one.
+	senders   []*Sender
+	arena     []Sender
+	deliverFn func(uint64)
+	replayFn  func(uint64)
+
 	stats Stats
 }
 
@@ -87,7 +105,12 @@ type Stats struct {
 
 // New returns an ISA bound to the given device.
 func New(k *sim.Kernel, bus *noc.Bus, dev *vl.Device) *ISA {
-	return &ISA{k: k, bus: bus, dev: dev}
+	i := &ISA{k: k, bus: bus, dev: dev}
+	i.arena = make([]Sender, 0, senderArenaBlock)
+	i.senders = make([]*Sender, 0, senderArenaBlock)
+	i.deliverFn = func(a uint64) { i.senders[a>>retryBits].delivered(a & retryMask) }
+	i.replayFn = func(a uint64) { i.senders[a>>retryBits].deliver(int(a & retryMask)) }
+	return i
 }
 
 // Stats returns a snapshot of the operation counters.
@@ -113,15 +136,11 @@ func (i *ISA) Select(p *sim.Proc) {
 // freely, as they would from different cores.
 type Sender struct {
 	i    *ISA
+	id   int // index into i.senders; high bits of packed event args
 	kind noc.PacketKind
 	q    []senderOp
 	head int // q[:head] are accepted; the array is reused, not resliced away
 	busy bool
-	// deliverFn/replayFn are bound once; the in-flight attempt count
-	// rides in the event argument, so issuing and replaying device
-	// writes schedules no per-packet closures.
-	deliverFn func(uint64)
-	replayFn  func(uint64)
 }
 
 // senderOp is one queued device write in data form — the operands are
@@ -150,9 +169,14 @@ func (i *ISA) NewPushPort() Port { return i.NewPushSender() }
 func (i *ISA) NewFetchPort() Port { return i.NewFetchSender() }
 
 func newSender(i *ISA, kind noc.PacketKind) *Sender {
-	s := &Sender{i: i, kind: kind}
-	s.deliverFn = s.delivered
-	s.replayFn = s.replay
+	if len(i.arena) == cap(i.arena) {
+		// A fresh block: existing senders keep pointing into old blocks.
+		i.arena = make([]Sender, 0, senderArenaBlock)
+	}
+	i.arena = i.arena[:len(i.arena)+1]
+	s := &i.arena[len(i.arena)-1]
+	*s = Sender{i: i, id: len(i.senders), kind: kind}
+	i.senders = append(i.senders, s)
 	return s
 }
 
@@ -180,7 +204,7 @@ func (s *Sender) issue() {
 }
 
 func (s *Sender) deliver(attempt int) {
-	s.i.bus.SendFunc(s.kind, s.deliverFn, uint64(attempt))
+	s.i.bus.SendFunc(s.kind, s.i.deliverFn, uint64(s.id)<<retryBits|uint64(attempt))
 }
 
 // delivered runs at the packet's arrival tick. The head op is read here
@@ -209,14 +233,11 @@ func (s *Sender) delivered(attempt uint64) {
 		return
 	}
 	if attempt+1 >= MaxRetries {
-		panic("isa: device-write replay bound exceeded (deadlocked workload?)")
+		panic(fmt.Sprintf("isa: device-write replay bound exceeded on sqi %d (deadlocked workload?)", op.sqi))
 	}
 	s.i.stats.Replays++
-	s.i.k.AfterFunc(RetryBackoffCycles, s.replayFn, attempt+1)
+	s.i.k.AfterFunc(RetryBackoffCycles, s.i.replayFn, uint64(s.id)<<retryBits|(attempt+1))
 }
-
-// replay re-sends the head op after a NACK backoff.
-func (s *Sender) replay(attempt uint64) { s.deliver(int(attempt)) }
 
 // Pending reports queued-but-unaccepted writes (tests/diagnostics).
 func (s *Sender) Pending() int { return len(s.q) - s.head }

@@ -39,11 +39,19 @@ type RemoteISA struct {
 	hubDom int
 
 	execFn   func(a0, a1, a2, a3 uint64) // hub.Exec, bound once
-	replayFn func(uint64)                // shared retry trampoline; arg = sender id
+	replayFn func(uint64)                // shared retry trampoline, bound on first NACK; arg = sender id
 
 	stats   Stats
 	senders []*RemoteSender
 	arena   []RemoteSender // block storage behind senders; 16 cores x N endpoints
+
+	// Embedded first blocks: Init points arena/senders here, so a domain
+	// whose endpoint count fits one block allocates nothing for its
+	// sender bookkeeping. &arena0[i] is handed out as a Port, so a
+	// RemoteISA must not move after Init — the fabric's riArena and
+	// NewRemote's heap object both honour that.
+	arena0   [senderArenaBlock]RemoteSender
+	senders0 [senderArenaBlock]*RemoteSender
 }
 
 // NewRemote returns a remote ISA issuing from srcDomain against the given
@@ -61,14 +69,14 @@ func NewRemote(k *sim.Kernel, bus *noc.Bus, hub *vl.Hub, post vl.PostFunc, srcDo
 // hub, so it must run at setup time.
 func (r *RemoteISA) Init(k *sim.Kernel, bus *noc.Bus, hub *vl.Hub, post vl.PostFunc, srcDomain int) {
 	*r = RemoteISA{k: k, bus: bus, hub: hub, post: post, src: srcDomain, hubDom: hub.Domain()}
-	// Endpoint setup dominates construction allocations: presize the
-	// sender arena and index so a typical domain's ports cost zero
-	// further allocations (heavy workloads fall back to block growth).
-	r.arena = make([]RemoteSender, 0, senderArenaBlock)
-	r.senders = make([]*RemoteSender, 0, senderArenaBlock)
+	// Endpoint setup dominates construction allocations: the sender
+	// arena and index start in the embedded first blocks so a typical
+	// domain's ports cost zero allocations (heavy workloads fall back
+	// to block growth).
+	r.arena = r.arena0[:0]
+	r.senders = r.senders0[:0]
 	r.execFn = hub.ExecFn()
-	r.replayFn = func(id uint64) { r.senders[id].send() }
-	hub.Bind(srcDomain, r.response)
+	hub.Bind(srcDomain, r)
 }
 
 // Stats returns a snapshot of the operation counters.
@@ -80,9 +88,10 @@ func (r *RemoteISA) Select(p *sim.Proc) {
 	p.Sleep(config.VLSelectCycles)
 }
 
-// response dispatches a hub accept/NACK outcome to the issuing sender.
-// It runs in the issuing domain at the response's arrival tick.
-func (r *RemoteISA) response(a0, a1, a2, a3 uint64) {
+// Response dispatches a hub accept/NACK outcome to the issuing sender,
+// implementing vl.Responder. It runs in the issuing domain at the
+// response's arrival tick.
+func (r *RemoteISA) Response(a0, a1, a2, a3 uint64) {
 	r.senders[a0>>1].delivered(a0&1 != 0)
 }
 
@@ -98,6 +107,11 @@ type RemoteSender struct {
 	head     int // q[:head] are accepted; the array is reused, not resliced away
 	busy     bool
 	attempts uint64
+
+	// q0 is the op queue's embedded first array: a producer window is 4
+	// and fetch streams hold 1-2 ops, so most senders never outgrow it
+	// (append growth falls back to the heap when one does).
+	q0 [4]remoteOp
 }
 
 type remoteOp struct {
@@ -136,9 +150,7 @@ func (s *RemoteSender) Pending() int { return len(s.q) - s.head }
 
 func (s *RemoteSender) enqueue(op remoteOp) {
 	if s.q == nil {
-		// First use: one right-sized allocation instead of the append
-		// growth chain (a producer window is 4; fetch streams stay at 1-2).
-		s.q = make([]remoteOp, 0, 8)
+		s.q = s.q0[:0]
 	}
 	if s.head > 0 && len(s.q) == cap(s.q) {
 		// Compact the accepted prefix away before growing, so a sender
@@ -185,6 +197,12 @@ func (s *RemoteSender) delivered(ok bool) {
 			panic("isa: remote device-write replay bound exceeded (deadlocked workload?)")
 		}
 		s.r.stats.Replays++
+		if s.r.replayFn == nil {
+			// Bound on first NACK: replays are the exception, so most
+			// domains never pay for the trampoline.
+			r := s.r
+			r.replayFn = func(id uint64) { r.senders[id].send() }
+		}
 		s.r.k.AfterFunc(RetryBackoffCycles, s.r.replayFn, uint64(s.id))
 		return
 	}

@@ -17,21 +17,17 @@ func TestAddressSpaceCheckStructure(t *testing.T) {
 		want    string
 	}{
 		{"healthy", func(as *AddressSpace) {}, ""},
-		{"cold-slab-missing", func(as *AddressSpace) {
-			as.cold = as.cold[:0]
-		}, "cold chunks"},
 		{"count-exceeds-slabs", func(as *AddressSpace) {
 			as.n = len(as.chunks)*linesPerChunk + 1
 		}, "slabs hold"},
 		{"dangling-empty-chunk", func(as *AddressSpace) {
-			as.chunks = append(as.chunks, new([linesPerChunk]Line))
-			as.cold = append(as.cold, new([linesPerChunk]lineStats))
+			as.chunks = append(as.chunks, new(chunk))
 		}, "slabs hold"},
 		{"cursor-off", func(as *AddressSpace) {
 			as.next += Addr(config.LineBytes)
 		}, "address cursor"},
 		{"cold-row-unpaired", func(as *AddressSpace) {
-			as.chunks[0][0].cold = &lineStats{}
+			as.chunks[0].hot[0].cold = &lineStats{}
 		}, "not paired"},
 	}
 	for _, tc := range cases {

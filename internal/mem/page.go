@@ -26,11 +26,22 @@ const linesPerChunk = 256
 // block storage turns one Page struct + one []*Line per endpoint into a
 // couple of allocations per address space. Blocks are never grown in
 // place — a full block is replaced by a fresh one — so &pages[i] and the
-// carved Lines slices stay valid forever.
+// carved Lines slices stay valid forever. The first block of each kind
+// is embedded in the AddressSpace itself, so a typical domain space (a
+// handful of endpoints) allocates nothing for its page bookkeeping.
 const (
 	pageArenaBlock = 16
 	ptrSlabBlock   = 128
 )
+
+// chunk fuses linesPerChunk hot lines with their cold accounting rows in
+// one allocation. The hot array stays dense and contiguous — cold rows
+// trail it — so the cache behaviour of the line arena is unchanged while
+// a chunk costs one allocation instead of a paired hot/cold pair.
+type chunk struct {
+	hot  [linesPerChunk]Line
+	cold [linesPerChunk]lineStats
+}
 
 // AddressSpace allocates endpoint pages with unique, non-overlapping
 // cache-line addresses, and resolves addresses back to lines (the routing
@@ -40,20 +51,28 @@ const (
 // fixed-size chunks and indexed by the allocation order implied by the
 // address, so Lookup is two shifts and two loads — no map hashing, no
 // per-line heap object — and neighbouring lines of a page share cache
-// lines of the host. Each line's cold accounting half lives in a slab
-// parallel to the hot chunks (see Line), and because every simulation
-// domain owns a distinct AddressSpace, both slabs are written by exactly
+// lines of the host. Each line's cold accounting half trails the hot
+// array inside its chunk (see Line), and because every simulation
+// domain owns a distinct AddressSpace, the arena is written by exactly
 // one worker lane: domains never false-share line state.
 type AddressSpace struct {
 	k      *sim.Kernel
 	base   Addr
 	next   Addr
 	n      int // allocated lines; the arena's high-water mark (lines are never freed)
-	chunks []*[linesPerChunk]Line
-	cold   []*[linesPerChunk]lineStats
+	chunks []*chunk
 
 	pages []Page  // block arena behind the *Page headers NewPage hands out
 	ptrs  []*Line // slab carved into the Lines arrays of those pages
+
+	// Embedded first blocks: Init points pages/ptrs (and the chunks
+	// index) here, so a space only hits the heap once its demand
+	// outgrows them. &pages0[i] and the carved ptrs0 sub-slices are
+	// handed out, so an AddressSpace must not move after Init — both
+	// constructors and the parallel fabric's arena honour that.
+	chunks0 [4]*chunk
+	pages0  [pageArenaBlock]Page
+	ptrs0   [ptrSlabBlock]*Line
 }
 
 // NewAddressSpace returns an empty address space starting at a non-zero
@@ -81,6 +100,9 @@ func (as *AddressSpace) Init(k *sim.Kernel, base Addr) {
 		panic(fmt.Sprintf("mem: address-space base %#x not line-aligned", uint64(base)))
 	}
 	*as = AddressSpace{k: k, base: base, next: base + Addr(config.LineBytes)}
+	as.chunks = as.chunks0[:0]
+	as.pages = as.pages0[:0]
+	as.ptrs = as.ptrs0[:0]
 }
 
 // Base reports the base address of the space (the reserved line below the
@@ -114,11 +136,11 @@ func (as *AddressSpace) NewPage(n int) *Page {
 	*p = Page{Base: as.next, Lines: as.ptrs[m : m+n : m+n]}
 	for i := range p.Lines {
 		if as.n%linesPerChunk == 0 {
-			as.chunks = append(as.chunks, new([linesPerChunk]Line))
-			as.cold = append(as.cold, new([linesPerChunk]lineStats))
+			as.chunks = append(as.chunks, new(chunk))
 		}
-		l := &as.chunks[as.n/linesPerChunk][as.n%linesPerChunk]
-		l.init(as.k, as.next, &as.cold[as.n/linesPerChunk][as.n%linesPerChunk])
+		c := as.chunks[as.n/linesPerChunk]
+		l := &c.hot[as.n%linesPerChunk]
+		l.init(as.k, as.next, &c.cold[as.n%linesPerChunk])
 		p.Lines[i] = l
 		as.n++
 		as.next += Addr(config.LineBytes)
@@ -133,9 +155,6 @@ func (as *AddressSpace) NewPage(n int) *Page {
 // cursor agrees with the count. The oracle's structural walks call it
 // alongside the device and specBuf walks.
 func (as *AddressSpace) CheckStructure() error {
-	if len(as.chunks) != len(as.cold) {
-		return fmt.Errorf("mem: %d hot chunks but %d cold chunks", len(as.chunks), len(as.cold))
-	}
 	have := len(as.chunks) * linesPerChunk
 	if as.n > have || have-as.n >= linesPerChunk {
 		return fmt.Errorf("mem: %d lines allocated but slabs hold %d slots", as.n, have)
@@ -144,8 +163,9 @@ func (as *AddressSpace) CheckStructure() error {
 		return fmt.Errorf("mem: address cursor %#x, want %#x for %d lines", uint64(as.next), uint64(want), as.n)
 	}
 	for i := 0; i < as.n; i++ {
-		l := &as.chunks[i/linesPerChunk][i%linesPerChunk]
-		if l.cold != &as.cold[i/linesPerChunk][i%linesPerChunk] {
+		c := as.chunks[i/linesPerChunk]
+		l := &c.hot[i%linesPerChunk]
+		if l.cold != &c.cold[i%linesPerChunk] {
 			return fmt.Errorf("mem: line %d (%#x) not paired with its cold row", i, uint64(l.Addr))
 		}
 	}
@@ -157,7 +177,7 @@ func (as *AddressSpace) CheckStructure() error {
 func (as *AddressSpace) Lookup(a Addr) *Line {
 	if a > as.base && a < as.next && a%Addr(config.LineBytes) == 0 {
 		idx := int((a-as.base)/Addr(config.LineBytes)) - 1
-		return &as.chunks[idx/linesPerChunk][idx%linesPerChunk]
+		return &as.chunks[idx/linesPerChunk].hot[idx%linesPerChunk]
 	}
 	panic(fmt.Sprintf("mem: unknown line address %#x", uint64(a)))
 }

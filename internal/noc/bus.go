@@ -115,10 +115,11 @@ const DefaultChannels = 4
 // busiest traffic, which is how contention for data-network resources
 // (§1) manifests.
 type Bus struct {
-	k      *sim.Kernel
-	hopLat uint64
-	freeAt []uint64 // per-channel next-free tick
-	stats  Stats
+	k       *sim.Kernel
+	hopLat  uint64
+	freeAt  []uint64 // per-channel next-free tick
+	freeAt0 [DefaultChannels]uint64
+	stats   Stats
 }
 
 // New returns a bus attached to kernel k with the default hop latency
@@ -149,7 +150,16 @@ func (b *Bus) Init(k *sim.Kernel, hop uint64, channels int) {
 	if channels <= 0 {
 		channels = DefaultChannels
 	}
-	*b = Bus{k: k, hopLat: hop, freeAt: make([]uint64, channels), stats: Stats{startTick: k.Now()}}
+	*b = Bus{k: k, hopLat: hop, stats: Stats{startTick: k.Now()}}
+	// Channel state lives in the embedded array when it fits (the common
+	// configs — single-channel core slices and DefaultChannels hubs — both
+	// do); only oversized custom topologies pay a heap block. Safe because
+	// a Bus never moves after Init (heap object or fabric arena slot).
+	if channels <= len(b.freeAt0) {
+		b.freeAt = b.freeAt0[:channels]
+	} else {
+		b.freeAt = make([]uint64, channels)
+	}
 }
 
 // Channels reports the number of transfer channels.

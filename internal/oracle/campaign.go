@@ -8,8 +8,18 @@ import (
 	"path/filepath"
 
 	"spamer"
+	"spamer/internal/config"
 	"spamer/internal/oracle/gen"
+	"spamer/internal/workloads/dag"
 )
+
+// dagOf returns the case's workload DAG, or nil.
+func dagOf(cs *gen.Case) *dag.Spec {
+	if cs.Shape == nil {
+		return nil
+	}
+	return cs.Shape.DAG
+}
 
 // CampaignOptions parameterizes a randomized verification campaign.
 type CampaignOptions struct {
@@ -204,7 +214,9 @@ func shrinkSteps(cs gen.Case) []gen.Case {
 		mut(&c)
 		out = append(out, c)
 	}
-	if sh := cs.Shape; sh != nil {
+	if sh := cs.Shape; sh != nil && sh.DAG != nil {
+		out = append(out, dagShrinkSteps(cs)...)
+	} else if sh != nil {
 		if sh.Messages > 1 {
 			add(func(c *gen.Case) { c.Shape.Messages /= 2 })
 			add(func(c *gen.Case) { c.Shape.Messages = 1 })
@@ -271,7 +283,12 @@ func shrinkSteps(cs gen.Case) []gen.Case {
 		add(func(c *gen.Case) { c.Domains = nil })
 	}
 	if cs.Spec.SRDEntries > 0 {
-		add(func(c *gen.Case) { c.Spec.SRDEntries = 0 })
+		// Resetting to the default table size is only a valid shrink
+		// when the workload's queue footprint still fits (DAGs can
+		// legitimately need enlarged tables).
+		if d := dagOf(&cs); d == nil || d.Queues() <= config.SRDEntries {
+			add(func(c *gen.Case) { c.Spec.SRDEntries = 0 })
+		}
 	}
 	if cs.Spec.HopLatency > 0 {
 		add(func(c *gen.Case) { c.Spec.HopLatency = 0 })
@@ -288,6 +305,126 @@ func shrinkSteps(cs gen.Case) []gen.Case {
 	return out
 }
 
+// dagShrinkSteps proposes strictly-smaller variants of a workload-DAG
+// case: peel sink stages, drop edges, collapse replica pools, halve
+// source counts, simplify drives, and clear compute/tuning knobs.
+// Every candidate is pre-filtered through Validate — CheckCase reports
+// an invalid case as an "invalid-case" violation, which the greedy
+// minimizer would otherwise mistake for a smaller still-failing repro.
+func dagShrinkSteps(cs gen.Case) []gen.Case {
+	var out []gen.Case
+	add := func(mut func(*dag.Spec)) {
+		c := cloneCase(cs)
+		mut(c.Shape.DAG)
+		if c.Shape.DAG.Validate() != nil {
+			return
+		}
+		out = append(out, c)
+	}
+	d := cs.Shape.DAG
+
+	// Peel sink stages (with their in-edges); dropping an interior stage
+	// would orphan its consumers, which the Validate filter rejects.
+	hasOut := make(map[string]bool, len(d.Stages))
+	for _, e := range d.Edges {
+		hasOut[e.From] = true
+	}
+	if len(d.Stages) > 1 {
+		for i := range d.Stages {
+			if hasOut[d.Stages[i].Name] {
+				continue
+			}
+			i, name := i, d.Stages[i].Name
+			add(func(s *dag.Spec) {
+				s.Stages = append(s.Stages[:i:i], s.Stages[i+1:]...)
+				kept := s.Edges[:0]
+				for _, e := range s.Edges {
+					if e.To != name {
+						kept = append(kept, e)
+					}
+				}
+				s.Edges = kept
+			})
+		}
+	}
+	for i := range d.Edges {
+		i := i
+		add(func(s *dag.Spec) { s.Edges = append(s.Edges[:i:i], s.Edges[i+1:]...) })
+	}
+	for _, st := range d.Stages {
+		if st.Replicas > 1 {
+			add(func(s *dag.Spec) {
+				for j := range s.Stages {
+					s.Stages[j].Replicas = 1
+				}
+			})
+			break
+		}
+	}
+	for _, st := range d.Stages {
+		if st.Messages > 1 {
+			add(func(s *dag.Spec) {
+				for j := range s.Stages {
+					if s.Stages[j].Messages > 1 {
+						s.Stages[j].Messages /= 2
+					}
+				}
+			})
+			add(func(s *dag.Spec) {
+				for j := range s.Stages {
+					if s.Stages[j].Messages > 1 {
+						s.Stages[j].Messages = 1
+					}
+				}
+			})
+			break
+		}
+	}
+	for i, st := range d.Stages {
+		if len(st.Replay) > 1 {
+			i := i
+			add(func(s *dag.Spec) {
+				st := &s.Stages[i]
+				st.Replay = st.Replay[:len(st.Replay)/2]
+			})
+		}
+		if len(st.Replay) > 0 {
+			// Replace the recorded trace with a plain closed-loop count.
+			i, n := i, len(st.Replay)
+			add(func(s *dag.Spec) {
+				st := &s.Stages[i]
+				st.Replay, st.ReplayFile, st.WorkPerByte = nil, "", 0
+				st.Messages = n
+			})
+		}
+		if st.Arrival != nil {
+			i := i
+			add(func(s *dag.Spec) { s.Stages[i].Arrival = nil })
+		}
+	}
+	for _, st := range d.Stages {
+		if st.Work != nil || st.WorkPerByte > 0 {
+			add(func(s *dag.Spec) {
+				for j := range s.Stages {
+					s.Stages[j].Work, s.Stages[j].WorkPerByte = nil, 0
+				}
+			})
+			break
+		}
+	}
+	for _, e := range d.Edges {
+		if e.Lines > 0 || e.Window > 0 {
+			add(func(s *dag.Spec) {
+				for j := range s.Edges {
+					s.Edges[j].Lines, s.Edges[j].Window = 0, 0
+				}
+			})
+			break
+		}
+	}
+	return out
+}
+
 // cloneCase deep-copies the case so shrink mutations never alias.
 func cloneCase(cs gen.Case) gen.Case {
 	c := cs
@@ -296,6 +433,9 @@ func cloneCase(cs gen.Case) gen.Case {
 		if sh.Arrival != nil {
 			a := *sh.Arrival
 			sh.Arrival = &a
+		}
+		if sh.DAG != nil {
+			sh.DAG = sh.DAG.Clone()
 		}
 		c.Shape = &sh
 	}

@@ -12,9 +12,11 @@ import (
 	"os"
 
 	"spamer"
+	"spamer/internal/config"
 	"spamer/internal/experiments"
 	"spamer/internal/traffic"
 	"spamer/internal/workloads"
+	"spamer/internal/workloads/dag"
 )
 
 // Case is one generated verification case: an experiment spec plus an
@@ -47,6 +49,18 @@ func (c *Case) Validate() error {
 	}
 	if err := c.Shape.Validate(); err != nil {
 		return err
+	}
+	if d := c.Shape.DAG; d != nil {
+		entries := c.Spec.SRDEntries
+		if entries == 0 {
+			entries = config.SRDEntries
+		}
+		if q := d.Queues(); q > entries {
+			// Fewer prodBuf slots than queues voids the device's
+			// per-SQI reservation, so the workload can deadlock by
+			// construction rather than by bug.
+			return fmt.Errorf("gen: dag needs %d queues but srd_entries is %d", q, entries)
+		}
 	}
 	for _, a := range c.Spec.Algorithms {
 		if _, ok := algConfig(a); !ok {
@@ -124,13 +138,33 @@ func New(seed uint64) *Gen {
 func (g *Gen) Case(domains []int) Case {
 	c := Case{Seed: g.seed}
 	switch r := g.rng.Intn(16); {
-	case r < 8:
+	case r < 6:
 		c.Shape = g.chain()
 		c.Domains = append([]int(nil), domains...)
+	case r < 10:
+		d := g.dag()
+		c.Shape = &workloads.Shape{DAG: d}
+		if d.ParallelSafe() {
+			c.Domains = append([]int(nil), domains...)
+		}
 	case r < 14:
 		c.Shape = g.fan()
 	default:
 		g.named(&c)
+	}
+	g.knobs(&c)
+	return c
+}
+
+// DAGCase always draws a workload-DAG case — the entry point of DAG-
+// focused fuzzing and tests. Parallel-safe topologies (no dynamic
+// shared drains) carry the domains list so the cross-kernel
+// differential covers shard exchanges and diamond merges too.
+func (g *Gen) DAGCase(domains []int) Case {
+	d := g.dag()
+	c := Case{Seed: g.seed, Shape: &workloads.Shape{DAG: d}}
+	if d.ParallelSafe() {
+		c.Domains = append([]int(nil), domains...)
 	}
 	g.knobs(&c)
 	return c
@@ -196,6 +230,149 @@ func (g *Gen) fan() *workloads.Shape {
 		sh.Arrival = g.arrival()
 	}
 	return sh
+}
+
+// dag draws a random layered workload DAG: 2–4 layers of 1–2 stages
+// with 1–3 replicas each, every non-first-layer stage fed by one or two
+// distinct earlier stages under a random edge policy (pair when replica
+// counts line up, shard exchanges, M:1 shared fan-ins, or the
+// auto-resolved default). Sources split between closed-loop counts,
+// open-loop arrival schedules, and short recorded-trace replays; one in
+// four graphs grows a dynamic shared drain (those are not
+// parallel-safe, so DAGCase attaches no domains to them). The generator
+// is correct by construction — an invalid result is a generator bug and
+// panics so fuzzing surfaces it loudly.
+func (g *Gen) dag() *dag.Spec {
+	s := &dag.Spec{Name: "rand", Seed: g.rng.Uint64()}
+	layers := 2 + g.rng.Intn(3)
+	var earlier []int
+	for li := 0; li < layers; li++ {
+		ids := make([]int, 1+g.rng.Intn(2))
+		for k := range ids {
+			st := dag.Stage{
+				Name:     fmt.Sprintf("s%d", len(s.Stages)),
+				Replicas: 1 + g.rng.Intn(3),
+				Work:     g.dagDist(),
+			}
+			if li == 0 {
+				g.dagSource(&st)
+			}
+			ids[k] = len(s.Stages)
+			s.Stages = append(s.Stages, st)
+		}
+		for _, ti := range ids {
+			if li == 0 {
+				continue
+			}
+			feeds := []int{earlier[g.rng.Intn(len(earlier))]}
+			if len(earlier) > 1 && g.rng.Intn(2) == 0 {
+				if second := earlier[g.rng.Intn(len(earlier))]; second != feeds[0] {
+					feeds = append(feeds, second)
+				}
+			}
+			for _, fi := range feeds {
+				s.Edges = append(s.Edges, g.dagEdge(&s.Stages[fi], &s.Stages[ti]))
+			}
+		}
+		earlier = append(earlier, ids...)
+	}
+	if g.rng.Intn(4) == 0 {
+		// Dynamic shared drain: an M:N WorkCounter sink hanging off a
+		// random stage (its shared edge must be its sole input).
+		fi := g.rng.Intn(len(s.Stages))
+		s.Stages = append(s.Stages, dag.Stage{
+			Name:     "drain",
+			Replicas: 2 + g.rng.Intn(2),
+			Work:     g.dagDist(),
+		})
+		s.Edges = append(s.Edges, dag.Edge{From: s.Stages[fi].Name, To: "drain", Policy: dag.PolicyShared})
+	}
+	// Broadcast fan-out amplifies source counts multiplicatively; halve
+	// closed-loop sources (and truncate replays) until a campaign case
+	// stays in the milliseconds.
+	for iter := 0; s.TotalMessages(1) > 2500 && iter < 16; iter++ {
+		for i := range s.Stages {
+			st := &s.Stages[i]
+			if st.Messages > 1 {
+				st.Messages = (st.Messages + 1) / 2
+			}
+			if len(st.Replay) > 1 {
+				st.Replay = st.Replay[:(len(st.Replay)+1)/2]
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: generated invalid DAG: %v", err))
+	}
+	return s
+}
+
+// dagEdge draws one edge's policy and tuning knobs.
+func (g *Gen) dagEdge(from, to *dag.Stage) dag.Edge {
+	e := dag.Edge{From: from.Name, To: to.Name}
+	switch {
+	case from.Replicas == 1 && to.Replicas == 1 && g.rng.Intn(2) == 0:
+		// "": exercise auto-resolution (pair on a 1:1 edge). Wider
+		// edges must not stay auto — "" resolves to shared there, which
+		// is illegal into an interior multi-replica consumer.
+	case from.Replicas == to.Replicas && g.rng.Intn(2) == 0:
+		e.Policy = dag.PolicyPair
+	case to.Replicas == 1 && g.rng.Intn(4) == 0:
+		e.Policy = dag.PolicyShared // static M:1 fan-in on one queue
+	default:
+		e.Policy = dag.PolicyShard
+	}
+	if g.rng.Intn(3) == 0 {
+		e.Lines = 1 + g.rng.Intn(4)
+	}
+	if g.rng.Intn(3) == 0 {
+		e.Window = 1 + g.rng.Intn(8)
+	}
+	return e
+}
+
+// dagSource picks a source stage's drive: closed-loop counts mostly,
+// with open-loop arrivals and recorded-trace replay in the mix.
+func (g *Gen) dagSource(st *dag.Stage) {
+	switch g.rng.Intn(6) {
+	case 0:
+		st.Replay = g.dagTrace()
+		if g.rng.Intn(2) == 0 {
+			st.WorkPerByte = uint64(1 + g.rng.Intn(3))
+		}
+	case 1:
+		st.Messages = 4 + g.rng.Intn(40)
+		st.Arrival = g.arrival()
+	default:
+		st.Messages = 4 + g.rng.Intn(40)
+	}
+}
+
+// dagTrace draws a short sorted recorded trace.
+func (g *Gen) dagTrace() []dag.TraceEvent {
+	evs := make([]dag.TraceEvent, 3+g.rng.Intn(28))
+	at := uint64(g.rng.Intn(100))
+	for i := range evs {
+		evs[i] = dag.TraceEvent{At: at, Work: uint64(g.rng.Intn(60)), Size: uint64(g.rng.Intn(64))}
+		at += uint64(g.rng.Intn(250))
+	}
+	return evs
+}
+
+// dagDist draws a per-stage compute distribution across all three
+// kinds (nil = no compute).
+func (g *Gen) dagDist() *dag.Dist {
+	switch g.rng.Intn(4) {
+	case 0:
+		return nil
+	case 1:
+		return &dag.Dist{Mean: uint64(g.rng.Intn(80))}
+	case 2:
+		lo := uint64(g.rng.Intn(50))
+		return &dag.Dist{Kind: dag.DistUniform, Min: lo, Max: lo + uint64(g.rng.Intn(80))}
+	default:
+		return &dag.Dist{Kind: dag.DistExp, Mean: uint64(1 + g.rng.Intn(60))}
+	}
 }
 
 // arrival draws a random open-loop arrival spec. Mean gaps span
@@ -298,6 +475,20 @@ func (g *Gen) knobs(c *Case) {
 	}
 	if c.Shape != nil {
 		c.Spec.Benchmark = "synthetic"
+	}
+	if c.Shape != nil && c.Shape.DAG != nil {
+		// Keep the small-tables NACK pressure, but never hand a DAG
+		// fewer prodBuf slots than queues: that voids the device's
+		// per-SQI reservation and manufactures a deadlock. An exact
+		// match (sharedCap 0, reserved slots only) is the maximum
+		// legal backpressure.
+		q := c.Shape.DAG.Queues()
+		if c.Spec.SRDEntries > 0 && c.Spec.SRDEntries < q {
+			c.Spec.SRDEntries = q
+		}
+		if c.Spec.SRDEntries == 0 && q > config.SRDEntries {
+			c.Spec.SRDEntries = q
+		}
 	}
 }
 

@@ -375,12 +375,20 @@ type SrcDelivery struct {
 	Sum   uint64 `json:"sum"` // FNV-1a over payloads in sequence order
 }
 
-// Delivery snapshots the checker's observed traffic. Call after the run.
+// Delivery snapshots the checker's observed traffic. Call after the
+// run. Queues are listed in name order, not first-observation order:
+// the sequential and parallel kernels first touch a DAG's queues in
+// different (both deterministic) interleavings, and the cross-kernel
+// comparison must not read that as a divergence.
 func (c *Checker) Delivery() Delivery {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	order := append([]*vlq.Queue(nil), c.order...)
+	sort.SliceStable(order, func(i, j int) bool {
+		return c.qs[order[i]].name < c.qs[order[j]].name
+	})
 	var d Delivery
-	for _, q := range c.order {
+	for _, q := range order {
 		st := c.qs[q]
 		qd := QueueDelivery{Name: st.name}
 		for _, src := range sortedSrcs(st) {

@@ -9,6 +9,7 @@ import (
 	"spamer/internal/experiments"
 	"spamer/internal/oracle/gen"
 	"spamer/internal/workloads"
+	"spamer/internal/workloads/dag"
 )
 
 func hasViolation(vs []Violation, invariant string) bool {
@@ -70,6 +71,113 @@ func TestFaultDropCaughtByConservation(t *testing.T) {
 	replayed := CheckCase(fail.Case)
 	if !hasViolation(replayed.Violations, "message-loss") {
 		t.Fatalf("reloaded repro no longer reproduces: %v", replayed.Violations)
+	}
+}
+
+// TestFaultCorruptCaughtOnDAG is the DAG-era end-to-end self-test: a
+// seeded in-flight payload corruption (the Nth stash delivery filled
+// with flipped bits, metadata intact — the run completes normally)
+// must be caught by the payload-integrity invariant on a diamond DAG,
+// and Minimize must peel the topology — stages, edges, and replica
+// pools — down to a strictly smaller case that still exhibits the
+// corruption, surviving the repro-file round trip.
+func TestFaultCorruptCaughtOnDAG(t *testing.T) {
+	topo := &dag.Spec{
+		Name: "corrupt",
+		Stages: []dag.Stage{
+			{Name: "src", Replicas: 2, Messages: 24, Work: &dag.Dist{Mean: 10}},
+			{Name: "mid", Replicas: 2, Work: &dag.Dist{Mean: 15}},
+			{Name: "side", Replicas: 1, Work: &dag.Dist{Mean: 5}},
+			{Name: "sink", Replicas: 1},
+		},
+		Edges: []dag.Edge{
+			{From: "src", To: "mid", Policy: dag.PolicyPair},
+			{From: "src", To: "side", Policy: dag.PolicyShard},
+			{From: "mid", To: "sink", Policy: dag.PolicyShard},
+			{From: "side", To: "sink", Policy: dag.PolicyPair},
+		},
+	}
+	cs := gen.Case{
+		Spec: experiments.Spec{
+			Benchmark:  "synthetic",
+			Algorithms: []string{spamer.AlgBaseline, spamer.AlgZeroDelay},
+			Fault:      &experiments.FaultSpec{CorruptStash: 7},
+		},
+		Shape: &workloads.Shape{DAG: topo},
+	}
+
+	rep := CheckCase(cs)
+	if !rep.Failed() {
+		t.Fatal("injected payload corruption not detected")
+	}
+	if !hasViolation(rep.Violations, "payload-corruption") {
+		t.Fatalf("payload-integrity invariant missed the corruption; got %v", rep.Violations)
+	}
+
+	min, runs := Minimize(cs)
+	if runs < 2 {
+		t.Fatalf("Minimize spent %d runs, expected shrink attempts", runs)
+	}
+	if !min.Failed() || !hasViolation(min.Violations, "payload-corruption") {
+		t.Fatalf("minimized case lost the violation: %v", min.Violations)
+	}
+	md := min.Case.Shape.DAG
+	if md == nil {
+		t.Fatal("minimized case lost its DAG")
+	}
+	if err := md.Validate(); err != nil {
+		t.Fatalf("minimized DAG is invalid (shrinker must filter candidates): %v", err)
+	}
+	if len(md.Stages) >= len(topo.Stages) && len(md.Edges) >= len(topo.Edges) && md.Threads() >= topo.Threads() {
+		t.Fatalf("shrinker peeled nothing: %d stages, %d edges, %d threads", len(md.Stages), len(md.Edges), md.Threads())
+	}
+
+	// The campaign repro workflow: persist, reload, replay.
+	path, err := writeRepro(t.TempDir(), 7, CaseFailure{Case: min.Case, Original: cs, Violations: min.Violations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail, err := ReadReproFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasViolation(CheckCase(fail.Case).Violations, "payload-corruption") {
+		t.Fatal("reloaded repro no longer reproduces")
+	}
+}
+
+// TestDAGCaseGen pins the DAG case family's generator contract: seeded
+// determinism, validity of every drawn case, and the parallel-safety
+// gate on the attached domains list (a dynamic shared drain must never
+// reach the cross-kernel comparison).
+func TestDAGCaseGen(t *testing.T) {
+	domains := []int{1, 2}
+	a := gen.New(9).DAGCase(domains)
+	b := gen.New(9).DAGCase(domains)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different DAG cases:\n%+v\n%+v", a, b)
+	}
+	sawSafe, sawUnsafe := false, false
+	for seed := uint64(0); seed < 40; seed++ {
+		cs := gen.New(seed).DAGCase(domains)
+		if err := cs.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid case: %v", seed, err)
+		}
+		if cs.Shape == nil || cs.Shape.DAG == nil {
+			t.Fatalf("seed %d: DAGCase without a DAG", seed)
+		}
+		safe := cs.Shape.DAG.ParallelSafe()
+		if len(cs.Domains) > 0 && !safe {
+			t.Fatalf("seed %d: domains attached to a non-parallel-safe DAG", seed)
+		}
+		if safe {
+			sawSafe = true
+		} else {
+			sawUnsafe = true
+		}
+	}
+	if !sawSafe || !sawUnsafe {
+		t.Fatalf("generator does not cover both safety classes (safe=%v unsafe=%v)", sawSafe, sawUnsafe)
 	}
 }
 

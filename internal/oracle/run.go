@@ -220,5 +220,5 @@ func withBaselineFirst(algs []string) []string {
 }
 
 func faultFree(cs gen.Case) bool {
-	return cs.Spec.Fault == nil || cs.Spec.Fault.DropStash == 0
+	return cs.Spec.Fault == nil || (cs.Spec.Fault.DropStash == 0 && cs.Spec.Fault.CorruptStash == 0)
 }

@@ -441,3 +441,60 @@ func TestOpenLoopShapeSpecServed(t *testing.T) {
 		t.Fatalf("resubmit status: %+v (want cached, hash %s)", st2, final.SpecHash)
 	}
 }
+
+// dagSpec is a small DAG-scenario job: a replayed source feeding one
+// consumer, VL only, fast enough for the test executor.
+const dagSpec = `[{"label":"d","algorithms":["vl"],"shape":{"dag":{
+  "name":"svc","stages":[
+    {"name":"in","replicas":1,"replay":[{"at":5,"work":3},{"at":9},{"at":20,"size":2}],"work_per_byte":4},
+    {"name":"out","replicas":1}],
+  "edges":[{"from":"in","to":"out"}]}}}]`
+
+// dagSpecRespelled is the same simulation spelled differently: the
+// auto edge policy made explicit, default lines/window/dist spelled
+// out, and a dead seed added. It must canonicalize — and content-hash
+// — identically to dagSpec.
+const dagSpecRespelled = `[{"label":"d","algorithms":["vl"],"shape":{"dag":{
+  "name":"svc","seed":77,"stages":[
+    {"name":"in","replicas":1,"replay":[{"at":5,"work":3},{"at":9},{"at":20,"size":2}],"work_per_byte":4,"work":{"kind":"const"}},
+    {"name":"out","replicas":1}],
+  "edges":[{"from":"in","to":"out","policy":"pair","lines":2,"window":4}]}}}]`
+
+// TestDAGSpecServedAndCached: a DAG scenario flows through the service
+// unchanged — admitted, simulated, reported under its diagnostic name —
+// and the result cache keys on the canonical hash of the resolved DAG,
+// so a respelled-but-identical spec is a cache hit.
+func TestDAGSpecServedAndCached(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, st := submit(t, ts, dagSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	first := waitState(t, ts, st.ID, StateDone)
+	if len(first.Outcomes) != 1 {
+		t.Fatalf("outcomes: %+v", first.Outcomes)
+	}
+	if o := first.Outcomes[0]; o.Benchmark != "dag/svc-s2-t2" || o.Messages != 3 || o.Ticks == 0 {
+		t.Fatalf("outcome: %+v", o)
+	}
+
+	code, st2 := submit(t, ts, dagSpecRespelled)
+	if code != http.StatusOK {
+		t.Fatalf("respelled resubmit = %d, want 200 (cache hit)", code)
+	}
+	if !st2.Cached || st2.SpecHash != first.SpecHash {
+		t.Fatalf("respelled spec missed the cache: %+v vs hash %s", st2, first.SpecHash)
+	}
+
+	// An unresolved replay file must be rejected at admission — the
+	// service never touches the filesystem on behalf of a spec, and an
+	// unresolved reference could alias different traces in the cache.
+	code, _ = submit(t, ts, `[{"algorithms":["vl"],"shape":{"dag":{
+	  "name":"svc","stages":[
+	    {"name":"in","replicas":1,"replay_file":"trace.json"},
+	    {"name":"out","replicas":1}],
+	  "edges":[{"from":"in","to":"out"}]}}}]`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unresolved replay file admitted with %d, want 400", code)
+	}
+}

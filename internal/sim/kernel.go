@@ -27,8 +27,16 @@ type Kernel struct {
 
 	// Proc spawning support: block storage behind the *Proc pointers and
 	// the shared start/dispatch trampoline Go binds on first use (proc.go).
-	procArena []Proc
-	procFn    func(uint64)
+	// The first arena block and index array are embedded, so a kernel
+	// spawning a handful of processes (every core domain of a parallel
+	// fabric) allocates nothing for them; &procArena0[i] is handed out,
+	// which is safe because kernels never move (heap object or a slot of
+	// the fabric's kernel arena).
+	procArena  []Proc
+	procFn     func(uint64)
+	procArena0 [procArenaBlock]Proc
+	procs0     [procArenaBlock]*Proc
+	dom      int  // domain index within a parallel fabric; 0 for a solo kernel
 	stopped  bool
 	maxTick  uint64 // watchdog: Run panics past this tick (0 = unlimited)
 	executed uint64 // total events dispatched, for diagnostics
@@ -53,6 +61,12 @@ func New() *Kernel {
 
 // Now reports the current simulated tick.
 func (k *Kernel) Now() uint64 { return k.now }
+
+// DomainIndex reports the kernel's logical domain within its parallel
+// fabric (set by NewParallel), or 0 for a standalone kernel. Model code
+// uses it for reverse lookup — mapping a process's kernel back to its
+// per-domain state without a map.
+func (k *Kernel) DomainIndex() int { return k.dom }
 
 // Executed reports how many events have been dispatched so far.
 func (k *Kernel) Executed() uint64 { return k.executed }

@@ -261,6 +261,9 @@ func NewParallel(domains int, lookahead uint64, workers int) *ParallelKernel {
 		limits:     u[3*domains : 4*domains : 4*domains],
 		runnable:   make([]bool, domains),
 	}
+	// Every (src, dst) pair can be active at once; full capacity up front
+	// keeps mergeDirty's append from growing the slice mid-run.
+	pk.activePairs = make([]int32, 0, domains*domains)
 	pk.deliverFn = func(a uint64) {
 		m := &pk.dsts[a>>32].inj[uint32(a)]
 		m.fn(m.a0, m.a1, m.a2, m.a3)
@@ -276,8 +279,18 @@ func NewParallel(domains int, lookahead uint64, workers int) *ParallelKernel {
 	// Every dst's drain list holds at most nd-1 sources; carving them all
 	// from one block removes the per-quantum rebuild's growth appends.
 	df := make([]drainSrc, domains*domains)
+	// Seed every domain kernel's event slab from one shared block: each
+	// kernel's first grab otherwise allocates its own slab, the largest
+	// per-domain setup cost left. Regions are multiples of the slab unit
+	// (bucketChunk events), which keeps domain boundaries cache-line
+	// aligned for any sane event size, so lanes never false-share slab
+	// storage.
+	const slabPer = bucketChunk * slabBuckets
+	slabs := make([]event, domains*slabPer)
 	for d := range pk.doms {
 		pk.doms[d] = &karena[d]
+		karena[d].dom = d
+		karena[d].events.slab = slabs[d*slabPer : d*slabPer : (d+1)*slabPer]
 		pk.weight[d] = 1
 		ds := &pk.dsts[d]
 		ds.pendMin = ^uint64(0)
@@ -612,7 +625,13 @@ func (pk *ParallelKernel) laneLoop(lane int) {
 // domains (hubs) land on distinct lanes before light ones fill in.
 func (pk *ParallelKernel) assignLanes(w int) {
 	nd := pk.nd
-	order := make([]int, nd)
+	// One backing block serves the order scratch, the lane map, and the
+	// per-lane domain lists (each lane's list is capped at nd, carved
+	// after the packing pass once the counts are known).
+	ints := make([]int, 3*nd)
+	order := ints[0*nd : 1*nd : 1*nd]
+	laneDoms := ints[2*nd : 2*nd : 3*nd]
+	pk.laneOf = ints[1*nd : 2*nd : 2*nd]
 	for d := range order {
 		order[d] = d
 	}
@@ -627,7 +646,6 @@ func (pk *ParallelKernel) assignLanes(w int) {
 		order[j+1] = e
 	}
 	pk.lanes = make([][]int, w)
-	pk.laneOf = make([]int, nd)
 	load := make([]uint64, w)
 	for _, d := range order {
 		best := 0
@@ -638,7 +656,25 @@ func (pk *ParallelKernel) assignLanes(w int) {
 		}
 		load[best] += pk.weight[d]
 		pk.laneOf[d] = best
-		pk.lanes[best] = append(pk.lanes[best], d)
+	}
+	// Carve each lane's list from the shared block and fill by domain
+	// index order.
+	counts := load // reuse: per-lane counts
+	for l := range counts {
+		counts[l] = 0
+	}
+	for d := 0; d < nd; d++ {
+		counts[pk.laneOf[d]]++
+	}
+	off := 0
+	for l := 0; l < w; l++ {
+		n := int(counts[l])
+		pk.lanes[l] = laneDoms[off : off : off+n]
+		off += n
+	}
+	for d := 0; d < nd; d++ {
+		l := pk.laneOf[d]
+		pk.lanes[l] = append(pk.lanes[l], d)
 	}
 	// Execute each lane's domains in index order (order within a lane
 	// cannot affect any trace; this just keeps runs tidy to reason

@@ -55,7 +55,8 @@ func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
 			}
 			p.dispatch()
 		}
-		k.procs = make([]*Proc, 0, procArenaBlock)
+		k.procs = k.procs0[:0]
+		k.procArena = k.procArena0[:0]
 	}
 	if len(k.procArena) == cap(k.procArena) {
 		k.procArena = make([]Proc, 0, procArenaBlock)

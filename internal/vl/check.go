@@ -11,6 +11,14 @@ import "fmt"
 // sequential kernel (spamer.Config.EffectiveDomains).
 func (d *Device) FaultDropStash(n uint64) { d.faultDropNth = n }
 
+// FaultCorruptStash arms a verification fault: the n-th stash delivery
+// (1-based, counted across the run) fills its target line with a
+// payload whose bits were flipped in flight — metadata intact, content
+// wrong. Unlike FaultDropStash the run completes normally; only the
+// oracle's payload-integrity check can catch it. Same-domain delivery
+// path only, so it forces the sequential kernel like the drop fault.
+func (d *Device) FaultCorruptStash(n uint64) { d.faultCorruptNth = n }
+
 // CheckStructure walks the device tables and verifies their structural
 // invariants: the free lists and the allocated entries partition prodBuf
 // and consBuf; every entry's queue membership matches its state (input,

@@ -84,8 +84,11 @@ type Device struct {
 
 	// Fault injection (verification only): when faultDropNth is non-zero
 	// the faultDropNth-th stash delivery acknowledges a hit without
-	// filling the line. See FaultDropStash.
+	// filling the line; when faultCorruptNth is non-zero the
+	// faultCorruptNth-th delivery fills the line with a flipped payload.
+	// See FaultDropStash and FaultCorruptStash.
 	faultDropNth     uint64
+	faultCorruptNth  uint64
 	stashesDelivered uint64
 }
 
@@ -495,9 +498,16 @@ func (d *Device) deliverStash(idx uint64) {
 		d.bus.SendFunc(noc.PktResp, d.handleResponseFn, idx<<1|1)
 		return
 	}
+	msg := e.msg
+	if d.faultCorruptNth != 0 && d.stashesDelivered == d.faultCorruptNth {
+		// Injected corruption: the fill carries a flipped payload while
+		// seq/src metadata stays intact, so delivery succeeds and only a
+		// content check can tell the message went bad in flight.
+		msg.Payload ^= 0xbad0_dead_beef_cafe
+	}
 	line := d.as.Lookup(e.target)
 	var hitBit uint64
-	if line.TryFill(e.msg) {
+	if line.TryFill(msg) {
 		hitBit = 1
 	}
 	// Response signal from the targeted cache controller (Figure 5).

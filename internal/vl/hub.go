@@ -68,11 +68,26 @@ type Hub struct {
 	post      PostFunc
 
 	// resp[srcDomain] dispatches responses inside the issuing domain
-	// (bound once by each RemoteISA via Bind).
-	resp []func(a0, a1, a2, a3 uint64)
+	// (bound once by each RemoteISA via Bind). resp0 is its embedded
+	// first array, sized for the default core count so a standard
+	// fabric's binds allocate nothing. respFn is the one shared
+	// response trampoline: the issuing domain rides in a1, so posting a
+	// response allocates no per-domain func value.
+	resp   []Responder
+	resp0  [16]Responder
+	respFn func(a0, a1, a2, a3 uint64)
 
 	execFn      func(a0, a1, a2, a3 uint64)
 	stashRespFn func(a0, a1, a2, a3 uint64)
+}
+
+// Responder receives hub accept/NACK outcomes inside one issuing domain:
+// Response runs in that domain at the response's arrival tick with the
+// packed outcome in a0 (sender id << 1 | accepted bit). An interface
+// rather than a func so binding a domain's dispatcher stores a plain
+// pointer and allocates nothing.
+type Responder interface {
+	Response(a0, a1, a2, a3 uint64)
 }
 
 // NewHub wraps a device for cross-domain execution. domain is the
@@ -83,6 +98,8 @@ type Hub struct {
 // implicit at arrival).
 func NewHub(dev *Device, domain int, lookahead uint64, post PostFunc) *Hub {
 	h := &Hub{dev: dev, domain: domain, lookahead: lookahead, post: post}
+	h.resp = h.resp0[:0]
+	h.respFn = func(a0, a1, a2, a3 uint64) { h.resp[a1].Response(a0, 0, 0, 0) }
 	h.execFn = h.Exec
 	h.stashRespFn = func(a0, a1, a2, a3 uint64) {
 		h.dev.StashResponse(int(a0>>1), a0&1 != 0)
@@ -98,11 +115,11 @@ func (h *Hub) Domain() int { return h.domain }
 
 // Bind registers the response dispatcher of an issuing domain. Must be
 // called at construction time, before any traffic flows.
-func (h *Hub) Bind(srcDomain int, fn func(a0, a1, a2, a3 uint64)) {
+func (h *Hub) Bind(srcDomain int, r Responder) {
 	for srcDomain >= len(h.resp) {
 		h.resp = append(h.resp, nil)
 	}
-	h.resp[srcDomain] = fn
+	h.resp[srcDomain] = r
 }
 
 // ExecFn returns the bound Exec callback (a stable func value, so posting
@@ -145,5 +162,5 @@ func (h *Hub) respond(src int, sender uint64, ok bool) {
 	if ok {
 		bit = 1
 	}
-	h.post(h.domain, src, h.dev.k.Now()+h.lookahead, h.resp[src], sender<<1|bit, 0, 0, 0)
+	h.post(h.domain, src, h.dev.k.Now()+h.lookahead, h.respFn, sender<<1|bit, uint64(src), 0, 0)
 }

@@ -1,0 +1,123 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution kinds.
+const (
+	DistConst   = "const"
+	DistUniform = "uniform"
+	DistExp     = "exp"
+)
+
+// Dist is a per-message compute-time distribution. The zero kind is
+// const; const and exp use Mean, uniform uses [Min, Max].
+type Dist struct {
+	Kind string `json:"kind,omitempty"`
+	Mean uint64 `json:"mean,omitempty"`
+	Min  uint64 `json:"min,omitempty"`
+	Max  uint64 `json:"max,omitempty"`
+}
+
+// MaxWork caps per-message compute parameters so fuzzed specs cannot
+// push simulated time toward the uint64 horizon.
+const MaxWork = 1 << 32
+
+func (d *Dist) validate() error {
+	if d.Mean > MaxWork || d.Max > MaxWork {
+		return fmt.Errorf("distribution parameter exceeds cap %d", uint64(MaxWork))
+	}
+	switch d.Kind {
+	case "", DistConst:
+		if d.Min != 0 || d.Max != 0 {
+			return fmt.Errorf("const distribution uses mean only")
+		}
+	case DistUniform:
+		if d.Mean != 0 {
+			return fmt.Errorf("uniform distribution uses min/max, not mean")
+		}
+		if d.Min > d.Max {
+			return fmt.Errorf("uniform distribution needs min <= max (got %d > %d)", d.Min, d.Max)
+		}
+	case DistExp:
+		if d.Mean == 0 {
+			return fmt.Errorf("exp distribution needs mean > 0")
+		}
+		if d.Min != 0 || d.Max != 0 {
+			return fmt.Errorf("exp distribution uses mean only")
+		}
+	default:
+		return fmt.Errorf("unknown distribution kind %q", d.Kind)
+	}
+	return nil
+}
+
+// canonical collapses default spellings; a distribution that always
+// draws 0 collapses to nil.
+func (d Dist) canonical() *Dist {
+	if d.Kind == DistConst {
+		d.Kind = ""
+	}
+	switch d.Kind {
+	case "":
+		if d.Mean == 0 {
+			return nil
+		}
+	case DistUniform:
+		if d.Max == 0 {
+			return nil
+		}
+	}
+	return &d
+}
+
+// sampler draws compute times from a Dist on a dedicated splitmix64
+// stream. Like internal/traffic, all randomness is pure integer
+// arithmetic plus IEEE-754 operations with platform-stable results, so
+// draws are bit-exact everywhere.
+type sampler struct {
+	d   Dist
+	rng uint64
+}
+
+// newSampler seeds the stream for one (spec, stage, replica) triple;
+// distinct triples get provably distinct streams.
+func newSampler(d *Dist, seed uint64, stage, replica int) sampler {
+	s := sampler{rng: mix64(seed ^ mix64(uint64(stage)<<32|uint64(replica)))}
+	if d != nil {
+		s.d = *d
+	}
+	return s
+}
+
+// draw returns the next compute time.
+func (s *sampler) draw() uint64 {
+	switch s.d.Kind {
+	case DistUniform:
+		span := s.d.Max - s.d.Min + 1
+		return s.d.Min + s.next64()%span
+	case DistExp:
+		return uint64(-float64(s.d.Mean) * math.Log(1-s.uniform()))
+	default:
+		return s.d.Mean
+	}
+}
+
+func (s *sampler) uniform() float64 {
+	return float64(s.next64()>>11) / (1 << 53)
+}
+
+// next64 steps the splitmix64 generator (Steele et al.), the same
+// platform-stable construction internal/traffic uses.
+func (s *sampler) next64() uint64 {
+	s.rng += 0x9e3779b97f4a7c15
+	return mix64(s.rng)
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,47 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// LoadTraceFile reads a recorded trace: a JSON array of TraceEvent.
+func LoadTraceFile(path string) ([]TraceEvent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("dag: trace %s: %w", path, err)
+	}
+	return events, nil
+}
+
+// LoadTraces resolves every stage's ReplayFile (relative paths against
+// dir) into its Replay events. Stages with inline Replay already set
+// are left alone, so a resolved spec round-trips. Canonical hashing is
+// always over the resolved events — see Canonical.
+func (s *Spec) LoadTraces(dir string) error {
+	for i := range s.Stages {
+		st := &s.Stages[i]
+		if st.ReplayFile == "" || len(st.Replay) > 0 {
+			continue
+		}
+		path := st.ReplayFile
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, path)
+		}
+		events, err := LoadTraceFile(path)
+		if err != nil {
+			return fmt.Errorf("dag: stage %q: %w", st.Name, err)
+		}
+		if len(events) == 0 {
+			return fmt.Errorf("dag: stage %q: trace %s is empty", st.Name, st.ReplayFile)
+		}
+		st.Replay = events
+	}
+	return nil
+}

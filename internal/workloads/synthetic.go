@@ -6,6 +6,7 @@ import (
 	"spamer"
 	"spamer/internal/traffic"
 	"spamer/internal/vlq"
+	"spamer/internal/workloads/dag"
 )
 
 // Shape parameterizes a synthetic workload: a family of small pipeline
@@ -56,10 +57,26 @@ type Shape struct {
 	// subsumes burstiness. See internal/traffic for the determinism
 	// contract that keeps open-loop shapes parallel-safe.
 	Arrival *traffic.Spec `json:"arrival,omitempty"`
+
+	// DAG, when set, selects a third family: an arbitrary
+	// producer/consumer DAG described by the internal/workloads/dag
+	// DSL (named stages, replica counts, compute distributions, edge
+	// fan-in/fan-out policies, optional trace replay). Mutually
+	// exclusive with every synthetic field above — a DAG shape is
+	// entirely described by its spec.
+	DAG *dag.Spec `json:"dag,omitempty"`
 }
 
 // Validate rejects shapes that cannot build a runnable workload.
 func (sh *Shape) Validate() error {
+	if sh.DAG != nil {
+		if sh.Stages != 0 || sh.Producers != 0 || sh.Consumers != 0 || sh.Messages != 0 ||
+			sh.ProdWork != 0 || sh.ConsWork != 0 || sh.Lines != 0 || sh.Window != 0 ||
+			sh.Burst != 0 || sh.BurstGap != 0 || sh.Arrival != nil {
+			return fmt.Errorf("workloads: dag shapes set no synthetic fields")
+		}
+		return sh.DAG.Validate()
+	}
 	if sh.Messages <= 0 {
 		return fmt.Errorf("workloads: shape needs messages > 0")
 	}
@@ -88,6 +105,10 @@ func (sh *Shape) Validate() error {
 // and the arrival spec, if any, in its canonical form. Two shapes that
 // build identical workloads hash identically through it.
 func (sh Shape) Canonical() Shape {
+	if sh.DAG != nil {
+		d := sh.DAG.Canonical()
+		return Shape{DAG: &d}
+	}
 	c := sh
 	if c.Producers == 1 {
 		c.Producers = 0
@@ -114,10 +135,18 @@ func (sh Shape) Canonical() Shape {
 
 // ParallelSafe reports whether the shape builds a strictly-1:1 workload
 // that may run on the multi-domain fabric.
-func (sh *Shape) ParallelSafe() bool { return sh.Stages >= 2 }
+func (sh *Shape) ParallelSafe() bool {
+	if sh.DAG != nil {
+		return sh.DAG.ParallelSafe()
+	}
+	return sh.Stages >= 2
+}
 
 // Name returns a compact diagnostic name encoding the shape.
 func (sh *Shape) Name() string {
+	if sh.DAG != nil {
+		return sh.DAG.WorkloadName()
+	}
 	suffix := ""
 	if sh.Arrival != nil {
 		suffix = "-ol:" + sh.Arrival.Name()
@@ -159,6 +188,16 @@ func (sh *Shape) burstGap() uint64 {
 // registered in the benchmark registry — shapes are anonymous,
 // generated, and exist only for verification runs.
 func (sh *Shape) Workload() *Workload {
+	if sh.DAG != nil {
+		return &Workload{
+			Name:         sh.Name(),
+			Desc:         "generated DAG scenario",
+			QueueSpec:    "dag",
+			Threads:      sh.DAG.Threads(),
+			Build:        sh.DAG.Build,
+			ParallelSafe: sh.DAG.ParallelSafe(),
+		}
+	}
 	threads := sh.Stages
 	build := sh.buildChain
 	if sh.Stages < 2 {

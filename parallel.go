@@ -30,16 +30,36 @@ const domainAddrShift = 40
 // that carry device traffic across domain boundaries.
 type fabric struct {
 	pk     *sim.ParallelKernel
-	ncores int // core domains [0, ncores); hubs follow
-	buses  []*noc.Bus
-	spaces []*mem.AddressSpace
+	ncores int           // core domains [0, ncores); hubs follow
+	doms   []domainState // per-domain fabric objects, one block
 	hubs   []*vl.Hub
-	domOf  map[*sim.Kernel]int
 	trace  *sim.ParallelTrace
 }
 
+// domainState fuses one domain's fabric objects into a single arena
+// slot: one allocation covers every domain's bus slice and address
+// space, and a domain's state stays contiguous for the lane running it.
+// Slots never move — lines, pages, and bus pointers are handed out — so
+// the doms slice is sized once and never appended to.
+type domainState struct {
+	bus   noc.Bus
+	space mem.AddressSpace
+}
+
+func (fab *fabric) bus(d int) *noc.Bus            { return &fab.doms[d].bus }
+func (fab *fabric) space(d int) *mem.AddressSpace { return &fab.doms[d].space }
+
 // domainOfAddr recovers the owning domain of a line address.
 func domainOfAddr(a mem.Addr) int { return int(uint64(a)>>domainAddrShift) - 1 }
+
+// coreState fuses one core domain's device-facing objects — its remote
+// ISA and its endpoint library — into a single arena slot per (device,
+// core) pair. Slots never move: the library hands out endpoint state and
+// the hub holds the remote ISA as its responder.
+type coreState struct {
+	ri  isa.RemoteISA
+	lib vlq.Lib
+}
 
 // newParallelSystem builds the multi-domain system: ncores core domains
 // plus one hub domain per routing device, synchronized on the minimum
@@ -52,18 +72,14 @@ func newParallelSystem(cfg Config, hop uint64, ndev int) *System {
 	pk := sim.NewParallel(ndom, lookahead, cfg.Domains)
 	pk.SetDeadline(cfg.Deadline)
 
-	fab := &fabric{pk: pk, ncores: ncores, domOf: make(map[*sim.Kernel]int, ndom)}
+	fab := &fabric{pk: pk, ncores: ncores}
 	s := &System{cfg: cfg, fab: fab}
-	// Per-domain fabric objects are carved from blocks: one allocation
-	// per kind instead of one per domain (17 domains at the default core
+	// Per-domain fabric objects live in one arena: one allocation total
+	// instead of one per domain and kind (17 domains at the default core
 	// count make per-object construction the dominant setup cost).
-	busArena := make([]noc.Bus, ndom)
-	spaceArena := make([]mem.AddressSpace, ndom)
-	fab.buses = make([]*noc.Bus, ndom)
-	fab.spaces = make([]*mem.AddressSpace, ndom)
+	fab.doms = make([]domainState, ndom)
 	for d := 0; d < ndom; d++ {
 		k := pk.Domain(d)
-		fab.domOf[k] = d
 		// Core domains get a single-channel slice of the interconnect
 		// (one core's ingress/egress link); hub domains carry the shared
 		// device-side traffic on the configured channel count.
@@ -71,17 +87,15 @@ func newParallelSystem(cfg Config, hop uint64, ndev int) *System {
 		if d >= ncores {
 			ch = cfg.BusChannels
 		}
-		busArena[d].Init(k, hop, ch)
-		fab.buses[d] = &busArena[d]
-		spaceArena[d].Init(k, mem.Addr(d+1)<<domainAddrShift)
-		fab.spaces[d] = &spaceArena[d]
+		fab.doms[d].bus.Init(k, hop, ch)
+		fab.doms[d].space.Init(k, mem.Addr(d+1)<<domainAddrShift)
 	}
 	// The single-system accessors point at the primary hub: the device,
 	// its bus slice, and its kernel are the closest parallel analogue of
 	// the sequential system's shared core.
 	s.kernel = pk.Domain(ncores)
-	s.bus = fab.buses[ncores]
-	s.as = fab.spaces[ncores]
+	s.bus = fab.bus(ncores)
+	s.as = fab.space(ncores)
 
 	for i := 0; i < ndev; i++ {
 		hubDom := ncores + i
@@ -98,7 +112,7 @@ func newParallelSystem(cfg Config, hop uint64, ndev int) *System {
 			pk.Reserve(hubDom, d)
 		}
 		hubK := pk.Domain(hubDom)
-		dev := vl.New(hubK, fab.buses[hubDom], fab.spaces[hubDom], cfg.SRD)
+		dev := vl.New(hubK, fab.bus(hubDom), fab.space(hubDom), cfg.SRD)
 		if cfg.Algorithm != AlgBaseline {
 			alg, ok := algorithm(cfg)
 			if !ok {
@@ -120,20 +134,19 @@ func newParallelSystem(cfg Config, hop uint64, ndev int) *System {
 		// instance of their thread's domain, so pages, senders, and
 		// clocks are domain-confined. The hub-side home library carries
 		// queue identity (SQI allocation happens at setup time, before
-		// any domain runs).
-		perDom := make([]*vlq.Lib, ncores)
-		riArena := make([]isa.RemoteISA, ncores)
-		libArena := make([]vlq.Lib, ncores)
+		// any domain runs). A core's remote ISA and library share one
+		// arena slot; the kernel's domain tag replaces the old
+		// kernel-to-domain map for the Binder's reverse lookup.
+		cores := make([]coreState, ncores)
 		for d := 0; d < ncores; d++ {
-			riArena[d].Init(pk.Domain(d), fab.buses[d], hub, pk.Post, d)
-			libArena[d].Init(pk.Domain(d), fab.spaces[d], dev, &riArena[d])
-			libArena[d].Inlined = !cfg.NoInline
-			perDom[d] = &libArena[d]
+			cores[d].ri.Init(pk.Domain(d), fab.bus(d), hub, pk.Post, d)
+			cores[d].lib.Init(pk.Domain(d), fab.space(d), dev, &cores[d].ri)
+			cores[d].lib.Inlined = !cfg.NoInline
 		}
-		home := vlq.New(hubK, fab.spaces[hubDom], dev, isa.New(hubK, fab.buses[hubDom], dev))
+		home := vlq.New(hubK, fab.space(hubDom), dev, isa.New(hubK, fab.bus(hubDom), dev))
 		home.Inlined = !cfg.NoInline
 		home.Binder = func(p *sim.Proc) *vlq.Lib {
-			return perDom[fab.domOf[p.Kernel()]]
+			return &cores[p.Kernel().DomainIndex()].lib
 		}
 		s.devs = append(s.devs, dev)
 		s.libs = append(s.libs, home)
@@ -156,12 +169,12 @@ func installStashRouter(fab *fabric, hub *vl.Hub) {
 	// in exactly that domain (it is the Post destination).
 	deliver := func(a0, a1, a2, a3 uint64) {
 		d := domainOfAddr(mem.Addr(a1))
-		line := fab.spaces[d].Lookup(mem.Addr(a1))
+		line := fab.space(d).Lookup(mem.Addr(a1))
 		var hitBit uint64
 		if line.TryFill(mem.Message{Src: int(a2 >> 48), Seq: a2 & (1<<48 - 1), Payload: a3}) {
 			hitBit = 1
 		}
-		arrival := fab.buses[d].Occupy(noc.PktResp)
+		arrival := fab.bus(d).Occupy(noc.PktResp)
 		fab.pk.Post(d, hubDom, arrival, respFn, a0<<1|hitBit, 0, 0, 0)
 	}
 	dev.SetStashRouter(func(idx uint64, target mem.Addr, msg mem.Message) {
@@ -189,7 +202,8 @@ func (s *System) runParallel() Result {
 		Parallel:  pk.Stats(),
 	}
 	var busy, window uint64
-	for _, b := range s.fab.buses {
+	for d := range s.fab.doms {
+		b := &s.fab.doms[d].bus
 		st := b.Stats()
 		for k := range r.Bus.Packets {
 			r.Bus.Packets[k] += st.Packets[k]
@@ -217,11 +231,12 @@ func (s *System) runParallel() Result {
 // config will use: Domains, except that failure injection (EvictEvery)
 // forces the sequential kernel — the injector mutates consumer lines of
 // every domain from one global event stream, which no conservative
-// partition can host. Fault injection (FaultDropStash) likewise forces
-// the sequential kernel: the drop counter lives on the same-domain stash
-// delivery path, which parallel systems bypass via the stash router.
+// partition can host. Fault injection (FaultDropStash,
+// FaultCorruptStash) likewise forces the sequential kernel: the fault
+// counters live on the same-domain stash delivery path, which parallel
+// systems bypass via the stash router.
 func (c Config) EffectiveDomains() int {
-	if c.EvictEvery > 0 || c.FaultDropStash > 0 || c.Domains < 0 {
+	if c.EvictEvery > 0 || c.FaultDropStash > 0 || c.FaultCorruptStash > 0 || c.Domains < 0 {
 		return 0
 	}
 	return c.Domains

@@ -133,6 +133,13 @@ type Config struct {
 	// the verification layer detects real loss, never for measurement.
 	FaultDropStash uint64
 
+	// FaultCorruptStash arms a payload-corruption fault: the n-th stash
+	// delivery fills its line with flipped payload bits (metadata
+	// intact), so the run completes and only the oracle's
+	// payload-integrity invariant can flag it. 0 disables; forces the
+	// sequential kernel like FaultDropStash.
+	FaultCorruptStash uint64
+
 	// EvictEvery enables failure injection: every EvictEvery cycles one
 	// consumer cache line (rotating deterministically over all
 	// endpoints) loses residency, as a cache conflict would cause. The
@@ -244,6 +251,9 @@ func NewSystem(cfg Config) *System {
 	if cfg.FaultDropStash > 0 {
 		s.devs[0].FaultDropStash(cfg.FaultDropStash)
 	}
+	if cfg.FaultCorruptStash > 0 {
+		s.devs[0].FaultCorruptStash(cfg.FaultCorruptStash)
+	}
 	return s
 }
 
@@ -295,7 +305,11 @@ func (s *System) SpecBufs() []*core.SpecBuf { return s.specs }
 // and specBuf tables.
 func (s *System) AddressSpaces() []*mem.AddressSpace {
 	if s.fab != nil {
-		return s.fab.spaces
+		out := make([]*mem.AddressSpace, len(s.fab.doms))
+		for d := range s.fab.doms {
+			out[d] = s.fab.space(d)
+		}
+		return out
 	}
 	return []*mem.AddressSpace{s.as}
 }
